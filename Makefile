@@ -1,0 +1,38 @@
+# Convenience targets for the s3wlan reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments analyses ablations clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus module micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation figures on the default campus.
+experiments:
+	$(GO) run ./cmd/s3sim -generate -all
+
+# Regenerate the measurement study (Figs 2-8, Table I).
+analyses:
+	$(GO) run ./cmd/s3analyze -generate -all
+
+ablations:
+	$(GO) run ./cmd/s3sim -generate -ablation all
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

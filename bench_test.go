@@ -1,0 +1,261 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates its artifact on a fixed-
+// seed campus and reports the headline number via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces every result (see EXPERIMENTS.md for paper-vs-measured).
+package s3wlan_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/analysis"
+	"github.com/s3wlan/s3wlan/internal/apps"
+	"github.com/s3wlan/s3wlan/internal/experiments"
+	"github.com/s3wlan/s3wlan/internal/synth"
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// benchCampus is the fixed-seed campus shared by the measurement-study
+// benchmarks (Figs. 2–8, Table I).
+func benchCampusConfig() synth.Config {
+	cfg := synth.DefaultConfig()
+	cfg.Users = 300
+	cfg.Buildings = 6
+	cfg.APsPerBuilding = 4
+	cfg.Days = 14
+	return cfg
+}
+
+var (
+	benchOnce     sync.Once
+	benchTrace    *trace.Trace
+	benchProfiles *apps.ProfileStore
+	benchData     *experiments.Data
+	benchErr      error
+)
+
+func benchSetup(b *testing.B) (*trace.Trace, *apps.ProfileStore, *experiments.Data) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := benchCampusConfig()
+		benchTrace, _, benchErr = synth.Generate(cfg)
+		if benchErr != nil {
+			return
+		}
+		benchProfiles = apps.BuildProfiles(benchTrace.Flows, cfg.Epoch, apps.NewClassifier())
+		benchData, benchErr = experiments.Prepare(cfg, 11)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchTrace, benchProfiles, benchData
+}
+
+// BenchmarkFig2 regenerates the CDF of the normalized balance index under
+// LLF (peak vs average hours).
+func BenchmarkFig2(b *testing.B) {
+	tr, _, _ := benchSetup(b)
+	var unbalanced float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Fig2(tr, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unbalanced = res.UnbalancedAverage
+	}
+	b.ReportMetric(unbalanced*100, "%unbalanced-avg-hours")
+}
+
+// BenchmarkFig3 regenerates the variance-of-balance CDFs (churn removed).
+func BenchmarkFig3(b *testing.B) {
+	tr, _, _ := benchSetup(b)
+	var frac float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Fig3(tr, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = res.FracSmall10Min
+	}
+	b.ReportMetric(frac*100, "%S<0.02@10min")
+}
+
+// BenchmarkFig4 regenerates the user-count vs traffic balance example day.
+func BenchmarkFig4(b *testing.B) {
+	tr, _, _ := benchSetup(b)
+	var corr float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Fig4(tr, 0, 1, 600)
+		if err != nil {
+			b.Fatal(err)
+		}
+		corr = res.Correlation
+	}
+	b.ReportMetric(corr, "pearson-r")
+}
+
+// BenchmarkFig5 regenerates the co-leaving fraction CDFs.
+func BenchmarkFig5(b *testing.B) {
+	tr, _, _ := benchSetup(b)
+	var median float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Fig5(tr, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		median = res.MedianFraction10Min
+	}
+	b.ReportMetric(median, "median-coleave-frac")
+}
+
+// BenchmarkFig6 regenerates the NMI-vs-history analysis.
+func BenchmarkFig6(b *testing.B) {
+	_, profiles, _ := benchSetup(b)
+	var plateau float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Fig6(profiles, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plateau = float64(res.PlateauAge)
+	}
+	b.ReportMetric(plateau, "plateau-days")
+}
+
+// BenchmarkFig7 regenerates the gap-statistic curve (optimal k).
+func BenchmarkFig7(b *testing.B) {
+	_, profiles, _ := benchSetup(b)
+	var k float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Fig7(profiles, 8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k = float64(res.OptimalK)
+	}
+	b.ReportMetric(k, "optimal-k")
+}
+
+// BenchmarkFig8 regenerates the four cluster centroids.
+func BenchmarkFig8(b *testing.B) {
+	_, profiles, _ := benchSetup(b)
+	var groups float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Fig8(profiles, 4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups = float64(res.K)
+	}
+	b.ReportMetric(groups, "groups")
+}
+
+// BenchmarkTable1 regenerates the type co-leave probability matrix.
+func BenchmarkTable1(b *testing.B) {
+	tr, profiles, _ := benchSetup(b)
+	fig8, err := analysis.Fig8(profiles, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var diagDominant float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Table1(tr, fig8, 300, 600)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DiagonalDominant {
+			diagDominant = 1
+		}
+	}
+	b.ReportMetric(diagDominant, "diag-dominant")
+}
+
+// BenchmarkFig10 regenerates the co-leave-interval sweep (best interval).
+func BenchmarkFig10(b *testing.B) {
+	_, _, data := benchSetup(b)
+	var best float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(data, []int64{60, 300, 600}, []float64{0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = float64(res.BestInterval) / 60
+	}
+	b.ReportMetric(best, "best-interval-min")
+}
+
+// BenchmarkFig11 regenerates the history-length sweep (plateau).
+func BenchmarkFig11(b *testing.B) {
+	_, _, data := benchSetup(b)
+	var plateau float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(data, []int{1, 5, 9, 11}, []float64{0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plateau = float64(res.PlateauDays)
+	}
+	b.ReportMetric(plateau, "plateau-days")
+}
+
+// BenchmarkFig12 regenerates the headline S³-vs-LLF comparison.
+func BenchmarkFig12(b *testing.B) {
+	_, _, data := benchSetup(b)
+	var gain, peakGain, errBar float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = res.GainPercent
+		peakGain = res.LeavePeakGainPercent
+		errBar = res.ErrorBarReductionPercent
+	}
+	b.ReportMetric(gain, "%gain")
+	b.ReportMetric(peakGain, "%peak-gain")
+	b.ReportMetric(errBar, "%errbar-reduction")
+}
+
+// BenchmarkAblationStaleness regenerates the load-report staleness study.
+func BenchmarkAblationStaleness(b *testing.B) {
+	_, _, data := benchSetup(b)
+	var staleGain float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationStaleness(data, []int64{0, 300})
+		if err != nil {
+			b.Fatal(err)
+		}
+		staleGain = (res.S3Means[1] - res.LLFMeans[1]) / res.LLFMeans[1] * 100
+	}
+	b.ReportMetric(staleGain, "%gain@300s")
+}
+
+// BenchmarkAblationBaselines regenerates the baseline panel.
+func BenchmarkAblationBaselines(b *testing.B) {
+	_, _, data := benchSetup(b)
+	var s3 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationBaselines(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s3 = res.S3Mean
+	}
+	b.ReportMetric(s3, "s3-balance")
+}

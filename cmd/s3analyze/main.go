@@ -1,0 +1,172 @@
+// Command s3analyze reproduces the paper's measurement study (Section III)
+// on a trace: Figs. 2–8 and Table I.
+//
+// Usage:
+//
+//	s3analyze -trace campus.jsonl -all
+//	s3analyze -trace campus.jsonl -fig 5
+//	s3analyze -generate -fig 7          # generate a default campus first
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/s3wlan/s3wlan/internal/analysis"
+	"github.com/s3wlan/s3wlan/internal/apps"
+	"github.com/s3wlan/s3wlan/internal/synth"
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "s3analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("s3analyze", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "", "input trace (JSON-lines); empty with -generate")
+		generate  = fs.Bool("generate", false, "generate the default synthetic campus instead of reading a trace")
+		seed      = fs.Int64("seed", 1, "seed for -generate and clustering")
+		fig       = fs.Int("fig", 0, "figure to reproduce (2-8); 0 with -all")
+		table     = fs.Int("table", 0, "table to reproduce (1)")
+		all       = fs.Bool("all", false, "run every analysis")
+		epoch     = fs.Int64("epoch", 0, "trace epoch (Unix seconds of day 0)")
+		csvDir    = fs.String("csvdir", "", "also write each result as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && *fig == 0 && *table == 0 {
+		return errors.New("nothing to do: pass -all, -fig N or -table 1")
+	}
+
+	tr, err := loadOrGenerate(*tracePath, *generate, *seed)
+	if err != nil {
+		return err
+	}
+	profiles := apps.BuildProfiles(tr.Flows, *epoch, apps.NewClassifier())
+
+	runFig := func(n int) bool { return *all || *fig == n }
+
+	writeCSV := func(name string, result interface{ WriteCSV(io.Writer) error }) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return result.WriteCSV(f)
+	}
+
+	if runFig(2) {
+		res, err := analysis.Fig2(tr, *epoch)
+		if err != nil {
+			return fmt.Errorf("fig 2: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+		if err := writeCSV("fig2", res); err != nil {
+			return fmt.Errorf("fig 2 csv: %w", err)
+		}
+	}
+	if runFig(3) {
+		res, err := analysis.Fig3(tr, nil)
+		if err != nil {
+			return fmt.Errorf("fig 3: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+		if err := writeCSV("fig3", res); err != nil {
+			return fmt.Errorf("fig 3 csv: %w", err)
+		}
+	}
+	if runFig(4) {
+		res, err := analysis.Fig4(tr, *epoch, 1, 600)
+		if err != nil {
+			return fmt.Errorf("fig 4: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+		if err := writeCSV("fig4", res); err != nil {
+			return fmt.Errorf("fig 4 csv: %w", err)
+		}
+	}
+	if runFig(5) {
+		res, err := analysis.Fig5(tr, nil)
+		if err != nil {
+			return fmt.Errorf("fig 5: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+		if err := writeCSV("fig5", res); err != nil {
+			return fmt.Errorf("fig 5 csv: %w", err)
+		}
+	}
+	if runFig(6) {
+		res, err := analysis.Fig6(profiles, 30)
+		if err != nil {
+			return fmt.Errorf("fig 6: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+		if err := writeCSV("fig6", res); err != nil {
+			return fmt.Errorf("fig 6 csv: %w", err)
+		}
+	}
+	if runFig(7) {
+		res, err := analysis.Fig7(profiles, 10, *seed)
+		if err != nil {
+			return fmt.Errorf("fig 7: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+		if err := writeCSV("fig7", res); err != nil {
+			return fmt.Errorf("fig 7 csv: %w", err)
+		}
+	}
+	needFig8 := runFig(8) || *all || *table == 1
+	var fig8 *analysis.Fig8Result
+	if needFig8 {
+		fig8, err = analysis.Fig8(profiles, 4, *seed)
+		if err != nil {
+			return fmt.Errorf("fig 8: %w", err)
+		}
+	}
+	if runFig(8) {
+		fmt.Fprintln(out, fig8.Render())
+		if err := writeCSV("fig8", fig8); err != nil {
+			return fmt.Errorf("fig 8 csv: %w", err)
+		}
+	}
+	if *all || *table == 1 {
+		res, err := analysis.Table1(tr, fig8, 300, 600)
+		if err != nil {
+			return fmt.Errorf("table 1: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+		if err := writeCSV("table1", res); err != nil {
+			return fmt.Errorf("table 1 csv: %w", err)
+		}
+	}
+	return nil
+}
+
+func loadOrGenerate(path string, generate bool, seed int64) (*trace.Trace, error) {
+	if generate {
+		cfg := synth.DefaultConfig()
+		cfg.Seed = seed
+		tr, _, err := synth.Generate(cfg)
+		return tr, err
+	}
+	if path == "" {
+		return nil, errors.New("pass -trace <file> or -generate")
+	}
+	return trace.LoadFile(path)
+}

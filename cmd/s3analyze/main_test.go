@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/synth"
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+func writeSmallTrace(t *testing.T) string {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Users = 120
+	cfg.Buildings = 3
+	cfg.APsPerBuilding = 3
+	cfg.Days = 8
+	tr, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := trace.SaveFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAnalyses(t *testing.T) {
+	path := writeSmallTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-all"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 2", "Fig 3", "Fig 4", "Fig 5",
+		"Fig 6", "Fig 7", "Fig 8", "Table I"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	path := writeSmallTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-fig", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 5") {
+		t.Error("missing Fig 5")
+	}
+	if strings.Contains(buf.String(), "Fig 2") {
+		t.Error("unexpected Fig 2")
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no action should error")
+	}
+}
+
+func TestRunMissingTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "2"}, &buf); err == nil {
+		t.Error("missing trace should error")
+	}
+	if err := run([]string{"-trace", "/nonexistent.jsonl", "-fig", "2"}, &buf); err == nil {
+		t.Error("unreadable trace should error")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+func TestRunGeneratesTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "campus.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-out", out, "-users", "40", "-buildings", "2", "-aps", "2",
+		"-days", "4", "-seed", "7",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sessions:") {
+		t.Errorf("summary missing: %s", buf.String())
+	}
+	tr, err := trace.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("generated trace invalid: %v", err)
+	}
+	if len(tr.Topology.APs) != 4 {
+		t.Errorf("APs = %d, want 4", len(tr.Topology.APs))
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-users", "0"}, &buf); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

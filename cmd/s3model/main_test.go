@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTrainAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "m.json")
+	var buf bytes.Buffer
+	err := run([]string{"-train", "-generate", "-seed", "3", "-out", model}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pair relationships") {
+		t.Errorf("train output: %s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-inspect", model}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Social graph") {
+		t.Errorf("inspect output: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "clustering coefficient") {
+		t.Errorf("missing structure stats: %s", buf.String())
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no action should error")
+	}
+}
+
+func TestTrainNeedsInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-train"}, &buf); err == nil {
+		t.Error("train without input should error")
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-inspect", "/nonexistent.json"}, &buf); err == nil {
+		t.Error("missing model should error")
+	}
+}
+
+func TestInspectWithDOT(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "m.json")
+	dot := filepath.Join(dir, "g.dot")
+	var buf bytes.Buffer
+	if err := run([]string{"-train", "-generate", "-out", model}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-inspect", model, "-dot", dot}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "graph \"s3\"") {
+		t.Errorf("DOT content wrong: %.100s", data)
+	}
+}

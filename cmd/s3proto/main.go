@@ -1,0 +1,160 @@
+// Command s3proto runs the S³ prototype: a WLAN controller speaking the
+// JSON-lines protocol over TCP, either as a standalone server or as a
+// self-contained demo that also spins up AP agents and stations.
+//
+// Usage:
+//
+//	s3proto -listen 127.0.0.1:7788 -policy s3     # standalone controller
+//	s3proto -demo                                  # end-to-end demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/s3wlan/s3wlan/internal/apps"
+	"github.com/s3wlan/s3wlan/internal/baseline"
+	"github.com/s3wlan/s3wlan/internal/core"
+	"github.com/s3wlan/s3wlan/internal/protocol"
+	"github.com/s3wlan/s3wlan/internal/society"
+	"github.com/s3wlan/s3wlan/internal/synth"
+	"github.com/s3wlan/s3wlan/internal/trace"
+	"github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "s3proto:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("s3proto", flag.ContinueOnError)
+	var (
+		listen  = fs.String("listen", "127.0.0.1:0", "controller listen address")
+		policy  = fs.String("policy", "s3", "association policy: s3 or llf")
+		demo    = fs.Bool("demo", false, "run the self-contained demo (controller + APs + stations)")
+		verbose = fs.Bool("v", false, "log controller decisions")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	selector, err := buildSelector(*policy)
+	if err != nil {
+		return err
+	}
+	var opts []protocol.ControllerOption
+	if *verbose {
+		opts = append(opts, protocol.WithLogger(log.New(out, "controller: ", log.Ltime)))
+	}
+	ctl, err := protocol.NewController(selector, opts...)
+	if err != nil {
+		return err
+	}
+	addr, err := ctl.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+	fmt.Fprintf(out, "controller (%s policy) listening on %s\n", selector.Name(), addr)
+
+	if *demo {
+		return runDemo(ctl, addr, out)
+	}
+
+	// Standalone: serve until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Fprintln(out, "shutting down")
+	return nil
+}
+
+// buildSelector returns the requested policy. The S³ policy is trained on
+// a small generated campus so the demo has a sociality model to work
+// with; a production deployment would train on the site's own history.
+func buildSelector(policy string) (wlan.Selector, error) {
+	switch policy {
+	case "llf":
+		return baseline.LLF{}, nil
+	case "s3":
+		cfg := synth.DefaultConfig()
+		cfg.Users = 120
+		cfg.Buildings = 2
+		cfg.APsPerBuilding = 3
+		cfg.Days = 10
+		tr, _, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("generate training campus: %w", err)
+		}
+		profiles := apps.BuildProfiles(tr.Flows, cfg.Epoch, apps.NewClassifier())
+		model, err := society.Train(tr, profiles, society.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("train sociality model: %w", err)
+		}
+		return core.NewSelector(model, core.DefaultSelectorConfig())
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want s3 or llf)", policy)
+	}
+}
+
+// runDemo registers AP agents and walks a handful of stations through the
+// association lifecycle, printing the controller's state.
+func runDemo(ctl *protocol.Controller, addr string, out io.Writer) error {
+	const timeout = 5 * time.Second
+	for i, capacity := range []float64{10e6, 10e6, 10e6} {
+		agent, err := protocol.DialAP(addr,
+			trace.APID(fmt.Sprintf("ap-%d", i)), capacity, timeout)
+		if err != nil {
+			return err
+		}
+		defer agent.Close()
+		if err := agent.Report(0); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(out, "registered 3 APs")
+
+	stations := make([]*protocol.Station, 0, 6)
+	for i := 0; i < 6; i++ {
+		st, err := protocol.DialStation(addr,
+			trace.UserID(fmt.Sprintf("user-%04d", i)), timeout)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		ap, err := st.Associate(50e3)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "station user-%04d -> %s\n", i, ap)
+		if err := st.SendTraffic(1 << 20); err != nil {
+			return err
+		}
+		stations = append(stations, st)
+	}
+
+	// Two stations leave together (a co-leaving).
+	for _, st := range stations[:2] {
+		if err := st.Disassociate(); err != nil {
+			return err
+		}
+	}
+	time.Sleep(100 * time.Millisecond) // let the controller settle
+
+	fmt.Fprintln(out, "\ncontroller state after co-leaving:")
+	snap := ctl.Snapshot()
+	for _, id := range []trace.APID{"ap-0", "ap-1", "ap-2"} {
+		st := snap[id]
+		fmt.Fprintf(out, "  %s: %d users, %d bytes served\n",
+			id, len(st.Users), st.ServedBytes)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDemoLLF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-demo", "-policy", "llf"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "registered 3 APs") {
+		t.Errorf("missing AP registration: %s", out)
+	}
+	if !strings.Contains(out, "controller state after co-leaving") {
+		t.Errorf("missing final state: %s", out)
+	}
+}
+
+func TestRunDemoS3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-demo", "-policy", "s3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "S3 policy") {
+		t.Errorf("missing policy banner: %s", buf.String())
+	}
+}
+
+func TestRunUnknownPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-demo", "-policy", "bogus"}, &buf); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestBuildSelector(t *testing.T) {
+	if sel, err := buildSelector("llf"); err != nil || sel.Name() != "LLF" {
+		t.Errorf("llf selector = %v, %v", sel, err)
+	}
+	if sel, err := buildSelector("s3"); err != nil || sel.Name() != "S3" {
+		t.Errorf("s3 selector = %v, %v", sel, err)
+	}
+	if _, err := buildSelector("nope"); err == nil {
+		t.Error("unknown policy should error")
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func simArgs(extra ...string) []string {
+	base := []string{
+		"-generate", "-users", "120", "-buildings", "3", "-aps", "3",
+		"-days", "10", "-train", "7",
+	}
+	return append(base, extra...)
+}
+
+func TestRunFig12(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(simArgs("-fig", "12"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 12") {
+		t.Errorf("missing Fig 12 in output: %s", buf.String())
+	}
+}
+
+func TestRunAblationGuard(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(simArgs("-ablation", "guard"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "balance guard") {
+		t.Error("missing guard ablation output")
+	}
+}
+
+func TestRunUnknownAblation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(simArgs("-ablation", "bogus"), &buf); err == nil {
+		t.Error("unknown ablation should error")
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-generate"}, &buf); err == nil {
+		t.Error("no action should error")
+	}
+}
+
+func TestRunNoInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "12"}, &buf); err == nil {
+		t.Error("missing input should error")
+	}
+}

@@ -1,0 +1,127 @@
+// Command s3trace provides trace-file utilities: summarize, validate,
+// slice a time window, and export sessions/flows as CSV.
+//
+// Usage:
+//
+//	s3trace -in campus.jsonl -summary
+//	s3trace -in campus.jsonl -validate
+//	s3trace -in campus.jsonl -slice-start 86400 -slice-end 172800 -out day2.jsonl
+//	s3trace -in campus.jsonl -sessions-csv sessions.csv -flows-csv flows.csv
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "s3trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("s3trace", flag.ContinueOnError)
+	var (
+		in          = fs.String("in", "", "input trace (JSON-lines)")
+		summary     = fs.Bool("summary", false, "print a descriptive summary")
+		validate    = fs.Bool("validate", false, "validate every record")
+		count       = fs.Bool("count", false, "stream-count records (no full load)")
+		epoch       = fs.Int64("epoch", 0, "trace epoch for hour-of-day stats")
+		sliceStart  = fs.Int64("slice-start", -1, "slice window start (Unix seconds)")
+		sliceEnd    = fs.Int64("slice-end", -1, "slice window end (Unix seconds)")
+		outPath     = fs.String("out", "", "output trace for -slice")
+		sessionsCSV = fs.String("sessions-csv", "", "export sessions as CSV to this path")
+		flowsCSV    = fs.String("flows-csv", "", "export flows as CSV to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("pass -in <trace.jsonl>")
+	}
+	didSomething := false
+
+	// Streaming count works without loading the file.
+	if *count {
+		sessions, flows, err := trace.CountRecords(*in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "sessions: %d\nflows: %d\n", sessions, flows)
+		didSomething = true
+	}
+
+	needLoad := *summary || *validate || *sliceStart >= 0 ||
+		*sessionsCSV != "" || *flowsCSV != ""
+	if !needLoad {
+		if !didSomething {
+			return errors.New("nothing to do: pass -summary, -validate, -count, -slice-start/-slice-end or a CSV export")
+		}
+		return nil
+	}
+
+	tr, err := trace.LoadFile(*in)
+	if err != nil {
+		return err
+	}
+
+	if *validate {
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("invalid trace: %w", err)
+		}
+		fmt.Fprintln(out, "trace is valid")
+	}
+	if *summary {
+		fmt.Fprint(out, tr.Summarize(*epoch).String())
+		hour, n := tr.Summarize(*epoch).PeakArrivalHour()
+		fmt.Fprintf(out, "peak arrival hour: %02d:00 (%d arrivals)\n", hour, n)
+	}
+	if *sliceStart >= 0 || *sliceEnd >= 0 {
+		if *sliceStart < 0 || *sliceEnd < 0 || *outPath == "" {
+			return errors.New("slicing needs -slice-start, -slice-end and -out")
+		}
+		sliced := tr.Slice(*sliceStart, *sliceEnd)
+		if err := trace.SaveFile(*outPath, sliced); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d sessions, %d flows)\n",
+			*outPath, len(sliced.Sessions), len(sliced.Flows))
+	}
+	if *sessionsCSV != "" {
+		if err := writeCSVFile(*sessionsCSV, func(w io.Writer) error {
+			return trace.WriteSessionsCSV(w, tr.Sessions)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *sessionsCSV)
+	}
+	if *flowsCSV != "" {
+		if err := writeCSVFile(*flowsCSV, func(w io.Writer) error {
+			return trace.WriteFlowsCSV(w, tr.Flows)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *flowsCSV)
+	}
+	return nil
+}
+
+func writeCSVFile(path string, write func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return write(f)
+}

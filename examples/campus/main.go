@@ -1,0 +1,54 @@
+// Campus: a university-scale scenario sweeping the α coefficient of the
+// social relation index θ = P(L|E) + α·T, reproducing the spirit of the
+// paper's Fig. 10/11 parameter study on a single generated campus.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	s3wlan "github.com/s3wlan/s3wlan"
+	"github.com/s3wlan/s3wlan/internal/experiments"
+)
+
+func main() {
+	cfg := s3wlan.DefaultCampusConfig()
+	cfg.Users = 500
+	cfg.Buildings = 6
+	cfg.APsPerBuilding = 4
+	cfg.Days = 21
+
+	data, err := experiments.Prepare(cfg, 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campus: %d train sessions, %d test sessions, %d domains\n",
+		len(data.Train.Sessions), len(data.Test.Sessions),
+		len(data.Test.Topology.Controllers()))
+
+	llfRes, err := data.RunLLF()
+	if err != nil {
+		log.Fatal(err)
+	}
+	llfMean, err := experiments.MeanBalance(llfRes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLLF baseline: %.4f\n\n", llfMean)
+
+	fmt.Println("α sweep (co-leave window fixed at the paper's 5 minutes):")
+	for _, alpha := range []float64{0, 0.1, 0.3, 0.5, 1.0} {
+		societyCfg := s3wlan.DefaultSocietyConfig()
+		societyCfg.Alpha = alpha
+		res, err := data.RunS3(societyCfg, s3wlan.DefaultSelectorConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean, err := experiments.MeanBalance(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  α = %.1f: balance %.4f (gain %+.1f%%)\n",
+			alpha, mean, (mean-llfMean)/llfMean*100)
+	}
+}

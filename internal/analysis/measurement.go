@@ -1,0 +1,416 @@
+// Package analysis reproduces the paper's measurement study (Section III):
+// the load-imbalance evidence (Figs. 2–4), the co-leaving sociality
+// evidence (Fig. 5), the application-profile temporal analysis (Fig. 6),
+// the cluster-count selection (Fig. 7), the cluster centroids (Fig. 8) and
+// the type co-leave matrix (Table I). Each function returns a structured
+// result with a Render method producing the harness's textual figure.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/s3wlan/s3wlan/internal/metrics"
+	"github.com/s3wlan/s3wlan/internal/society"
+	"github.com/s3wlan/s3wlan/internal/stats"
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// PeakHours are the paper's network-throughput peak hours (10:00–11:00 and
+// 15:00–16:00).
+var PeakHours = map[int]bool{10: true, 15: true}
+
+// ErrEmptyTrace is returned when an analysis receives no sessions.
+var ErrEmptyTrace = errors.New("analysis: empty trace")
+
+// Fig2Result is the CDF of the normalized balance index over all
+// controllers, split into peak hours and all (average) hours.
+type Fig2Result struct {
+	// PeakCDF and AverageCDF are the empirical distributions.
+	PeakCDF, AverageCDF *stats.CDF
+	// UnbalancedPeak and UnbalancedAverage are the fractions of time with
+	// index < 0.5 — the paper reports ≈20% (peak) and ≈60% (average,
+	// including idle off-hours).
+	UnbalancedPeak, UnbalancedAverage float64
+	// KS quantifies how different the peak and average distributions are
+	// (two-sample Kolmogorov–Smirnov).
+	KS stats.KSResult
+}
+
+// Fig2 computes the balance-index CDFs under the trace's recorded (LLF)
+// assignments, one sample per (controller, hour) with any traffic.
+func Fig2(tr *trace.Trace, epoch int64) (*Fig2Result, error) {
+	if len(tr.Sessions) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	res := &Fig2Result{PeakCDF: &stats.CDF{}, AverageCDF: &stats.CDF{}}
+	start, end := tr.TimeRange()
+	var unbalPeak, totPeak, unbalAvg, totAvg int
+	for _, c := range tr.Topology.Controllers() {
+		aps := tr.Topology.APsOf(c)
+		if len(aps) < 2 {
+			continue
+		}
+		apIDs := make([]trace.APID, len(aps))
+		for i, ap := range aps {
+			apIDs[i] = ap.ID
+		}
+		sessions := tr.SessionsOfController(c)
+		loads, err := trace.BinLoads(sessions, apIDs, start, end, 3600)
+		if err != nil {
+			return nil, err
+		}
+		for bin, row := range loads {
+			total := 0.0
+			for _, v := range row {
+				total += v
+			}
+			if total == 0 {
+				continue // idle hour: no balance sample
+			}
+			v, err := metrics.NormalizedBalanceIndex(row)
+			if err != nil {
+				return nil, err
+			}
+			hour := trace.HourOfDay(epoch, start+int64(bin)*3600)
+			res.AverageCDF.Add(v)
+			totAvg++
+			if v < 0.5 {
+				unbalAvg++
+			}
+			if PeakHours[hour] {
+				res.PeakCDF.Add(v)
+				totPeak++
+				if v < 0.5 {
+					unbalPeak++
+				}
+			}
+		}
+	}
+	if totAvg == 0 {
+		return nil, errors.New("analysis: no active hours found")
+	}
+	if totPeak > 0 {
+		res.UnbalancedPeak = float64(unbalPeak) / float64(totPeak)
+	}
+	res.UnbalancedAverage = float64(unbalAvg) / float64(totAvg)
+	if res.PeakCDF.Len() > 0 && res.AverageCDF.Len() > 0 {
+		peakVals := make([]float64, 0, res.PeakCDF.Len())
+		avgVals := make([]float64, 0, res.AverageCDF.Len())
+		for _, p := range res.PeakCDF.Points(res.PeakCDF.Len()) {
+			peakVals = append(peakVals, p.X)
+		}
+		for _, p := range res.AverageCDF.Points(res.AverageCDF.Len()) {
+			avgVals = append(avgVals, p.X)
+		}
+		ks, err := stats.KolmogorovSmirnov(peakVals, avgVals)
+		if err == nil {
+			res.KS = ks
+		}
+	}
+	return res, nil
+}
+
+// Render formats the figure as text.
+func (r *Fig2Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 2: CDF of normalized balance index over all controllers (LLF)\n")
+	fmt.Fprintf(&sb, "  unbalanced (<0.5): peak hours %.1f%%, average hours %.1f%%\n",
+		r.UnbalancedPeak*100, r.UnbalancedAverage*100)
+	fmt.Fprintf(&sb, "  peak vs average KS: D=%.3f p=%.2g\n", r.KS.Statistic, r.KS.PValue)
+	sb.WriteString("  peak-hours CDF:\n")
+	writeCDF(&sb, r.PeakCDF)
+	sb.WriteString("  average-hours CDF:\n")
+	writeCDF(&sb, r.AverageCDF)
+	return sb.String()
+}
+
+func writeCDF(sb *strings.Builder, c *stats.CDF) {
+	for _, p := range c.Points(10) {
+		fmt.Fprintf(sb, "    %.3f -> %.3f\n", p.X, p.Y)
+	}
+}
+
+// Fig3Result holds the CDFs of the variance-of-balance statistic S for
+// each sub-period length, computed over resident users only (churn
+// removed), as in the paper's application-dynamics analysis.
+type Fig3Result struct {
+	// CDFBySubPeriod maps sub-period length (seconds) to the CDF of S.
+	CDFBySubPeriod map[int64]*stats.CDF
+	// FracSmall10Min is the fraction of ten-minute-sub-period samples
+	// with S < 0.02; the paper reports more than 80%.
+	FracSmall10Min float64
+}
+
+// Fig3 computes S over hour-long periods using the given sub-period
+// lengths (paper: 300, 600, 1200 seconds). Within-hour traffic variation
+// comes from the flow records: session records only carry a total volume
+// (a constant within-session rate), so sub-period application dynamics are
+// visible only at flow granularity.
+func Fig3(tr *trace.Trace, subPeriods []int64) (*Fig3Result, error) {
+	if len(tr.Sessions) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	if len(subPeriods) == 0 {
+		subPeriods = []int64{300, 600, 1200}
+	}
+	res := &Fig3Result{CDFBySubPeriod: make(map[int64]*stats.CDF, len(subPeriods))}
+	for _, sp := range subPeriods {
+		res.CDFBySubPeriod[sp] = &stats.CDF{}
+	}
+	flowsByUser := make(map[trace.UserID][]trace.Flow)
+	for _, f := range tr.Flows {
+		flowsByUser[f.User] = append(flowsByUser[f.User], f)
+	}
+	start, end := tr.TimeRange()
+	var small, total int
+	for _, c := range tr.Topology.Controllers() {
+		aps := tr.Topology.APsOf(c)
+		if len(aps) < 2 {
+			continue
+		}
+		apIDs := make([]trace.APID, len(aps))
+		for i, ap := range aps {
+			apIDs[i] = ap.ID
+		}
+		sessions := tr.SessionsOfController(c)
+		for hourStart := start; hourStart+3600 <= end; hourStart += 3600 {
+			// Remove churn: keep only sessions spanning the whole hour.
+			resident := trace.ResidentSessions(sessions, hourStart, hourStart+3600)
+			if len(resident) == 0 {
+				continue
+			}
+			pseudo := residentFlowSessions(resident, flowsByUser, hourStart, hourStart+3600)
+			if len(pseudo) == 0 {
+				continue
+			}
+			for _, sp := range subPeriods {
+				loads, err := trace.BinLoads(pseudo, apIDs, hourStart, hourStart+3600, sp)
+				if err != nil {
+					return nil, err
+				}
+				values := make([]float64, 0, len(loads))
+				active := false
+				for _, row := range loads {
+					v, err := metrics.NormalizedBalanceIndex(row)
+					if err != nil {
+						return nil, err
+					}
+					for _, x := range row {
+						if x > 0 {
+							active = true
+						}
+					}
+					values = append(values, v)
+				}
+				if !active {
+					continue
+				}
+				s := metrics.VarianceOfBalance(values)
+				res.CDFBySubPeriod[sp].Add(s)
+				if sp == 600 {
+					total++
+					if s < 0.02 {
+						small++
+					}
+				}
+			}
+		}
+	}
+	if total > 0 {
+		res.FracSmall10Min = float64(small) / float64(total)
+	}
+	return res, nil
+}
+
+// residentFlowSessions projects resident users' flow records onto their
+// hour-long sessions' APs: each flow becomes a pseudo-session on the AP
+// the user occupied, preserving the flow's own timing so sub-period
+// traffic variation is visible.
+func residentFlowSessions(resident []trace.Session,
+	flowsByUser map[trace.UserID][]trace.Flow, hourStart, hourEnd int64) []trace.Session {
+	apOf := make(map[trace.UserID]trace.APID, len(resident))
+	for _, s := range resident {
+		apOf[s.User] = s.AP
+	}
+	var out []trace.Session
+	for u, ap := range apOf {
+		for _, f := range flowsByUser[u] {
+			if f.End <= hourStart || f.Start >= hourEnd || f.Bytes == 0 {
+				continue
+			}
+			out = append(out, trace.Session{
+				User:         u,
+				AP:           ap,
+				ConnectAt:    f.Start,
+				DisconnectAt: f.End,
+				Bytes:        f.Bytes,
+			})
+		}
+	}
+	return out
+}
+
+// Render formats the figure as text.
+func (r *Fig3Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 3: CDF of variance of balance index S (churn removed)\n")
+	fmt.Fprintf(&sb, "  S < 0.02 with 10-minute sub-periods: %.1f%%\n",
+		r.FracSmall10Min*100)
+	for _, sp := range []int64{300, 600, 1200} {
+		if c, ok := r.CDFBySubPeriod[sp]; ok && c.Len() > 0 {
+			fmt.Fprintf(&sb, "  sub-period %d min:\n", sp/60)
+			writeCDF(&sb, c)
+		}
+	}
+	return sb.String()
+}
+
+// Fig4Result is one example day in one controller domain: the balance
+// index of the number of users and of the traffic load, per bin, plus
+// their correlation — the paper's visual argument that user churn drives
+// load imbalance.
+type Fig4Result struct {
+	Controller  trace.ControllerID
+	BinSeconds  int64
+	Times       []int64
+	UserBalance []float64
+	LoadBalance []float64
+	// Correlation is the Pearson correlation between the two series; the
+	// paper's two plots are "very similar in layout", i.e. strongly
+	// positively correlated.
+	Correlation float64
+}
+
+// Fig4 computes the paired series for the controller with the most
+// sessions, over dayIndex (relative to epoch), from 8:00 to 24:00.
+func Fig4(tr *trace.Trace, epoch int64, dayIndex int, binSeconds int64) (*Fig4Result, error) {
+	if len(tr.Sessions) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	if binSeconds <= 0 {
+		binSeconds = 600
+	}
+	// Pick the busiest controller that day.
+	dayStart := epoch + int64(dayIndex)*86400
+	winStart := dayStart + 8*3600
+	winEnd := dayStart + 24*3600
+	counts := make(map[trace.ControllerID]int)
+	for _, s := range tr.Sessions {
+		if s.ConnectAt < winEnd && s.DisconnectAt > winStart {
+			counts[s.Controller]++
+		}
+	}
+	var best trace.ControllerID
+	bestN := 0
+	for _, c := range tr.Topology.Controllers() {
+		if counts[c] > bestN && len(tr.Topology.APsOf(c)) >= 2 {
+			best, bestN = c, counts[c]
+		}
+	}
+	if bestN == 0 {
+		return nil, errors.New("analysis: no controller with sessions on that day")
+	}
+	aps := tr.Topology.APsOf(best)
+	apIDs := make([]trace.APID, len(aps))
+	for i, ap := range aps {
+		apIDs[i] = ap.ID
+	}
+	sessions := tr.SessionsOfController(best)
+	loads, err := trace.BinLoads(sessions, apIDs, winStart, winEnd, binSeconds)
+	if err != nil {
+		return nil, err
+	}
+	users, err := trace.ConcurrentUsers(sessions, apIDs, winStart, winEnd, binSeconds)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{Controller: best, BinSeconds: binSeconds}
+	for i := range loads {
+		lb, err := metrics.NormalizedBalanceIndex(loads[i])
+		if err != nil {
+			return nil, err
+		}
+		ub, err := metrics.NormalizedBalanceIndex(users[i])
+		if err != nil {
+			return nil, err
+		}
+		res.Times = append(res.Times, winStart+int64(i)*binSeconds)
+		res.LoadBalance = append(res.LoadBalance, lb)
+		res.UserBalance = append(res.UserBalance, ub)
+	}
+	res.Correlation, err = stats.PearsonCorrelation(res.UserBalance, res.LoadBalance)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render formats the figure as text.
+func (r *Fig4Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 4: balance of user count vs traffic load, controller %s (bin %d min)\n",
+		r.Controller, r.BinSeconds/60)
+	fmt.Fprintf(&sb, "  Pearson correlation: %.3f\n", r.Correlation)
+	fmt.Fprintf(&sb, "  %-22s %-8s %-8s\n", "time", "β_users", "β_load")
+	for i := range r.Times {
+		fmt.Fprintf(&sb, "  %-22s %-8.3f %-8.3f\n",
+			trace.FormatTime(r.Times[i]), r.UserBalance[i], r.LoadBalance[i])
+	}
+	return sb.String()
+}
+
+// Fig5Result holds the CDFs of per-user co-leaving fractions for each
+// extraction window.
+type Fig5Result struct {
+	// CDFByWindow maps window length (seconds) to the CDF over users of
+	// the fraction of leavings that are co-leavings.
+	CDFByWindow map[int64]*stats.CDF
+	// MedianFraction10Min is the median co-leave fraction with the
+	// ten-minute window.
+	MedianFraction10Min float64
+}
+
+// Fig5 computes co-leave fraction CDFs (paper windows: 600, 1200, 1800
+// seconds).
+func Fig5(tr *trace.Trace, windows []int64) (*Fig5Result, error) {
+	if len(tr.Sessions) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	if len(windows) == 0 {
+		windows = []int64{600, 1200, 1800}
+	}
+	res := &Fig5Result{CDFByWindow: make(map[int64]*stats.CDF, len(windows))}
+	for _, w := range windows {
+		fr := society.CoLeaveFractionPerUser(tr.Sessions, w)
+		c := &stats.CDF{}
+		for _, v := range fr {
+			c.Add(v)
+		}
+		res.CDFByWindow[w] = c
+		if w == 600 && c.Len() > 0 {
+			m, err := c.Quantile(0.5)
+			if err != nil {
+				return nil, err
+			}
+			res.MedianFraction10Min = m
+		}
+	}
+	return res, nil
+}
+
+// Render formats the figure as text.
+func (r *Fig5Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 5: CDF of co-leaving fraction per user\n")
+	fmt.Fprintf(&sb, "  median fraction (10-minute window): %.3f\n",
+		r.MedianFraction10Min)
+	for _, w := range []int64{600, 1200, 1800} {
+		if c, ok := r.CDFByWindow[w]; ok && c.Len() > 0 {
+			fmt.Fprintf(&sb, "  window %d min:\n", w/60)
+			writeCDF(&sb, c)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/s3wlan/s3wlan/internal/socialgraph"
+	"github.com/s3wlan/s3wlan/internal/society"
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// SocialReport summarizes the structure of the learned θ-graph — the
+// small-world questions the paper's related work (Hsu & Helmy) asks of
+// WLAN encounter graphs, answered for the relationship graph S³ actually
+// uses.
+type SocialReport struct {
+	// Threshold is the θ cut used to build the graph.
+	Threshold float64
+	// Graph is the structural report (degree, clustering, path length).
+	Graph socialgraph.Report
+	// DegreeHistogram maps degree -> user count.
+	DegreeHistogram map[int]int
+	// TopPairs lists the strongest relationships.
+	TopPairs []PairStrength
+}
+
+// PairStrength pairs users with their θ value.
+type PairStrength struct {
+	A, B  trace.UserID
+	Theta float64
+}
+
+// BuildSocialReport constructs the θ > threshold graph over every user the
+// model knows and analyzes it.
+func BuildSocialReport(m *society.Model, threshold float64) (*SocialReport, error) {
+	if m == nil {
+		return nil, errors.New("analysis: nil model")
+	}
+	if threshold <= 0 {
+		threshold = 0.3
+	}
+	// Users: anyone appearing in pair statistics or typed.
+	seen := make(map[trace.UserID]bool)
+	for p := range m.PairProb {
+		seen[p.A] = true
+		seen[p.B] = true
+	}
+	for u := range m.Types {
+		seen[u] = true
+	}
+	users := make([]trace.UserID, 0, len(seen))
+	for u := range seen {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+
+	// Build edges from pair statistics only: iterating all O(n²) pairs is
+	// wasteful since θ > threshold requires pair history for any
+	// realistic α·T.
+	g := socialgraph.New()
+	for _, u := range users {
+		g.AddVertex(u)
+	}
+	var top []PairStrength
+	for p := range m.PairProb {
+		theta := m.Index(p.A, p.B)
+		if theta > threshold {
+			g.AddEdge(p.A, p.B, theta)
+			top = append(top, PairStrength{A: p.A, B: p.B, Theta: theta})
+		}
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].Theta != top[j].Theta {
+			return top[i].Theta > top[j].Theta
+		}
+		if top[i].A != top[j].A {
+			return top[i].A < top[j].A
+		}
+		return top[i].B < top[j].B
+	})
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	return &SocialReport{
+		Threshold:       threshold,
+		Graph:           g.Analyze(),
+		DegreeHistogram: g.DegreeHistogram(),
+		TopPairs:        top,
+	}, nil
+}
+
+// Render formats the report as text.
+func (r *SocialReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Social graph (θ > %.2f)\n", r.Threshold)
+	fmt.Fprintf(&sb, "  users: %d   relationships: %d   components: %d (largest %d)\n",
+		r.Graph.Vertices, r.Graph.Edges, r.Graph.Components, r.Graph.LargestComponent)
+	fmt.Fprintf(&sb, "  mean degree: %.2f   clustering coefficient: %.3f   avg path length: %.2f\n",
+		r.Graph.MeanDegree, r.Graph.ClusteringCoefficient, r.Graph.AveragePathLength)
+	sb.WriteString("  strongest pairs:\n")
+	for _, p := range r.TopPairs {
+		fmt.Fprintf(&sb, "    %s — %s  θ=%.3f\n", p.A, p.B, p.Theta)
+	}
+	return sb.String()
+}

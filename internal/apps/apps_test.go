@@ -1,0 +1,321 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+func TestRealmString(t *testing.T) {
+	tests := []struct {
+		r    Realm
+		want string
+	}{
+		{RealmIM, "IM"}, {RealmP2P, "P2P"}, {RealmMusic, "music"},
+		{RealmEmail, "email"}, {RealmVideo, "video"}, {RealmWeb, "web"},
+		{RealmUnknown, "unknown"}, {Realm(99), "Realm(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("Realm(%d).String() = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestRealmIndexRoundTrip(t *testing.T) {
+	for i, r := range Realms() {
+		if r.Index() != i {
+			t.Errorf("%v.Index() = %d, want %d", r, r.Index(), i)
+		}
+		back, err := RealmFromIndex(i)
+		if err != nil || back != r {
+			t.Errorf("RealmFromIndex(%d) = %v, %v", i, back, err)
+		}
+	}
+	if RealmUnknown.Index() != -1 {
+		t.Error("unknown realm should have index -1")
+	}
+	if _, err := RealmFromIndex(6); err == nil {
+		t.Error("index 6 should error")
+	}
+	if _, err := RealmFromIndex(-1); err == nil {
+		t.Error("index -1 should error")
+	}
+}
+
+func TestClassifyWellKnownPorts(t *testing.T) {
+	c := NewClassifier()
+	tests := []struct {
+		name string
+		f    trace.Flow
+		want Realm
+	}{
+		{"https", trace.Flow{Proto: "tcp", SrcPort: 52000, DstPort: 443}, RealmWeb},
+		{"http reversed", trace.Flow{Proto: "tcp", SrcPort: 80, DstPort: 52000}, RealmWeb},
+		{"dns", trace.Flow{Proto: "udp", SrcPort: 40000, DstPort: 53}, RealmWeb},
+		{"smtp", trace.Flow{Proto: "tcp", SrcPort: 52000, DstPort: 25}, RealmEmail},
+		{"imaps", trace.Flow{Proto: "TCP", SrcPort: 52000, DstPort: 993}, RealmEmail},
+		{"bittorrent", trace.Flow{Proto: "tcp", SrcPort: 52000, DstPort: 6881}, RealmP2P},
+		{"msn", trace.Flow{Proto: "tcp", SrcPort: 52000, DstPort: 1863}, RealmIM},
+		{"qq udp", trace.Flow{Proto: "udp", SrcPort: 40000, DstPort: 8000}, RealmIM},
+		{"rtmp", trace.Flow{Proto: "tcp", SrcPort: 52000, DstPort: 1935}, RealmVideo},
+		{"rtsp", trace.Flow{Proto: "tcp", SrcPort: 52000, DstPort: 554}, RealmMusic},
+		{"ephemeral p2p", trace.Flow{Proto: "tcp", SrcPort: 50000, DstPort: 51000}, RealmP2P},
+		{"unknown low ports", trace.Flow{Proto: "tcp", SrcPort: 1234, DstPort: 2345}, RealmUnknown},
+		{"unknown proto", trace.Flow{Proto: "icmp", SrcPort: 0, DstPort: 0}, RealmUnknown},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.Classify(tt.f); got != tt.want {
+				t.Errorf("Classify(%+v) = %v, want %v", tt.f, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClassifierOptions(t *testing.T) {
+	c := NewClassifier(
+		WithRule("tcp", 9999, RealmVideo),
+		WithRule("udp", 9999, RealmMusic),
+		WithoutEphemeralP2PHeuristic(),
+	)
+	if got := c.Classify(trace.Flow{Proto: "tcp", DstPort: 9999}); got != RealmVideo {
+		t.Errorf("custom tcp rule = %v, want video", got)
+	}
+	if got := c.Classify(trace.Flow{Proto: "udp", DstPort: 9999}); got != RealmMusic {
+		t.Errorf("custom udp rule = %v, want music", got)
+	}
+	f := trace.Flow{Proto: "tcp", SrcPort: 50000, DstPort: 51000}
+	if got := c.Classify(f); got != RealmUnknown {
+		t.Errorf("ephemeral heuristic should be disabled, got %v", got)
+	}
+	// Unknown proto in WithRule is silently ignored.
+	c2 := NewClassifier(WithRule("bogus", 1, RealmIM))
+	if got := c2.Classify(trace.Flow{Proto: "tcp", DstPort: 1}); got != RealmUnknown {
+		t.Errorf("bogus-proto rule should not apply, got %v", got)
+	}
+}
+
+func TestVolumeByRealm(t *testing.T) {
+	c := NewClassifier()
+	flows := []trace.Flow{
+		{Proto: "tcp", DstPort: 443, Bytes: 100},
+		{Proto: "tcp", DstPort: 80, Bytes: 50},
+		{Proto: "tcp", DstPort: 6881, Bytes: 200},
+		{Proto: "tcp", DstPort: 1234, SrcPort: 4321, Bytes: 30}, // unknown
+	}
+	vec, unknown := c.VolumeByRealm(flows)
+	if vec[RealmWeb.Index()] != 150 {
+		t.Errorf("web volume = %v, want 150", vec[RealmWeb.Index()])
+	}
+	if vec[RealmP2P.Index()] != 200 {
+		t.Errorf("p2p volume = %v, want 200", vec[RealmP2P.Index()])
+	}
+	if unknown != 30 {
+		t.Errorf("unknown volume = %v, want 30", unknown)
+	}
+}
+
+func buildTestProfiles(t *testing.T) *ProfileStore {
+	t.Helper()
+	const epoch = int64(0)
+	day := int64(86400)
+	flows := []trace.Flow{
+		// Day 0: u1 is web-heavy.
+		{User: "u1", Start: 100, End: 200, Proto: "tcp", DstPort: 443, Bytes: 800},
+		{User: "u1", Start: 300, End: 400, Proto: "tcp", DstPort: 25, Bytes: 200},
+		// Day 1: u1 same mix.
+		{User: "u1", Start: day + 100, End: day + 200, Proto: "tcp", DstPort: 80, Bytes: 400},
+		{User: "u1", Start: day + 300, End: day + 400, Proto: "tcp", DstPort: 110, Bytes: 100},
+		// Day 0: u2 is P2P-heavy.
+		{User: "u2", Start: 50, End: 60, Proto: "tcp", DstPort: 6881, Bytes: 1000},
+		// Unknown traffic ignored in profiles.
+		{User: "u2", Start: 70, End: 80, Proto: "tcp", SrcPort: 1111, DstPort: 2222, Bytes: 5},
+	}
+	return BuildProfiles(flows, epoch, NewClassifier())
+}
+
+func TestBuildProfiles(t *testing.T) {
+	ps := buildTestProfiles(t)
+	users := ps.Users()
+	if len(users) != 2 || users[0] != "u1" || users[1] != "u2" {
+		t.Fatalf("Users = %v", users)
+	}
+	if ps.UnknownVolume() != 5 {
+		t.Errorf("UnknownVolume = %v, want 5", ps.UnknownVolume())
+	}
+	days := ps.Days("u1")
+	if len(days) != 2 || days[0] != 0 || days[1] != 1 {
+		t.Errorf("Days(u1) = %v", days)
+	}
+	vec, ok := ps.Day("u1", 0)
+	if !ok {
+		t.Fatal("Day(u1, 0) missing")
+	}
+	if vec[RealmWeb.Index()] != 800 || vec[RealmEmail.Index()] != 200 {
+		t.Errorf("day-0 vector = %v", vec)
+	}
+	if _, ok := ps.Day("u1", 5); ok {
+		t.Error("day 5 should be absent")
+	}
+	if _, ok := ps.Day("ghost", 0); ok {
+		t.Error("unknown user should be absent")
+	}
+}
+
+func TestCumulative(t *testing.T) {
+	ps := buildTestProfiles(t)
+	vec, ok := ps.Cumulative("u1", 0, 1)
+	if !ok {
+		t.Fatal("cumulative missing")
+	}
+	if vec[RealmWeb.Index()] != 1200 || vec[RealmEmail.Index()] != 300 {
+		t.Errorf("cumulative = %v", vec)
+	}
+	if _, ok := ps.Cumulative("u1", 5, 9); ok {
+		t.Error("empty range should report false")
+	}
+}
+
+func TestMeanNormalized(t *testing.T) {
+	ps := buildTestProfiles(t)
+	vec, ok := ps.MeanNormalized("u1")
+	if !ok {
+		t.Fatal("MeanNormalized missing")
+	}
+	var sum float64
+	for _, x := range vec {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("profile sums to %v, want 1", sum)
+	}
+	// u1 is 80% web both days.
+	if math.Abs(vec[RealmWeb.Index()]-0.8) > 1e-9 {
+		t.Errorf("web share = %v, want 0.8", vec[RealmWeb.Index()])
+	}
+	if _, ok := ps.MeanNormalized("ghost"); ok {
+		t.Error("unknown user should report false")
+	}
+}
+
+func TestNMIPointAndCumulative(t *testing.T) {
+	ps := buildTestProfiles(t)
+	// u1 has identical normalized mixes on day 0 and day 1 ⇒ NMI = 1.
+	nmi, ok := ps.NMIPoint("u1", 1, 1)
+	if !ok {
+		t.Fatal("NMIPoint missing")
+	}
+	if math.Abs(nmi-1) > 1e-9 {
+		t.Errorf("NMIPoint = %v, want 1", nmi)
+	}
+	nmi, ok = ps.NMICumulative("u1", 1, 1)
+	if !ok {
+		t.Fatal("NMICumulative missing")
+	}
+	if math.Abs(nmi-1) > 1e-9 {
+		t.Errorf("NMICumulative = %v, want 1", nmi)
+	}
+	// Missing history day.
+	if _, ok := ps.NMIPoint("u1", 1, 7); ok {
+		t.Error("missing history should report false")
+	}
+	if _, ok := ps.NMICumulative("u2", 3, 2); ok {
+		t.Error("missing current day should report false")
+	}
+}
+
+func TestProfileStoreEpoch(t *testing.T) {
+	ps := BuildProfiles(nil, 12345, NewClassifier())
+	if ps.Epoch() != 12345 {
+		t.Errorf("Epoch = %d, want 12345", ps.Epoch())
+	}
+}
+
+func TestRealmReport(t *testing.T) {
+	c := NewClassifier()
+	flows := []trace.Flow{
+		{Proto: "tcp", DstPort: 443, Bytes: 600},                  // web
+		{Proto: "tcp", DstPort: 6881, Bytes: 300},                 // p2p
+		{Proto: "tcp", DstPort: 25, Bytes: 100},                   // email
+		{Proto: "tcp", SrcPort: 1234, DstPort: 2345, Bytes: 1000}, // unknown
+	}
+	shares, unknown := c.RealmReport(flows)
+	if len(shares) != NumRealms {
+		t.Fatalf("shares = %d, want %d", len(shares), NumRealms)
+	}
+	if shares[0].Realm != RealmWeb || math.Abs(shares[0].Share-0.6) > 1e-9 {
+		t.Errorf("top share = %+v, want web 0.6", shares[0])
+	}
+	if shares[1].Realm != RealmP2P {
+		t.Errorf("second = %+v, want p2p", shares[1])
+	}
+	if math.Abs(unknown-0.5) > 1e-9 {
+		t.Errorf("unknown share = %v, want 0.5", unknown)
+	}
+	// Empty input: zero shares, no division by zero.
+	shares, unknown = c.RealmReport(nil)
+	if unknown != 0 {
+		t.Errorf("empty unknown = %v", unknown)
+	}
+	for _, s := range shares {
+		if s.Share != 0 {
+			t.Errorf("empty share = %+v", s)
+		}
+	}
+}
+
+func TestTemporalSignature(t *testing.T) {
+	flows := []trace.Flow{
+		// Morning (slot 2: 08:00–12:00) web, evening (slot 5: 20:00–24:00) video.
+		{User: "u1", Start: 9 * 3600, End: 9*3600 + 10, Proto: "tcp", DstPort: 443, Bytes: 300},
+		{User: "u1", Start: 21 * 3600, End: 21*3600 + 10, Proto: "tcp", DstPort: 1935, Bytes: 100},
+	}
+	ps := BuildProfiles(flows, 0, NewClassifier())
+	if _, ok := ps.TemporalSignature("u1"); ok {
+		t.Error("signature should be absent before attaching")
+	}
+	ps.AttachTemporalSignatures(flows)
+	sig, ok := ps.TemporalSignature("u1")
+	if !ok {
+		t.Fatal("signature missing after attaching")
+	}
+	if len(sig) != TemporalSlots {
+		t.Fatalf("slots = %d, want %d", len(sig), TemporalSlots)
+	}
+	if math.Abs(sig[2]-0.75) > 1e-9 || math.Abs(sig[5]-0.25) > 1e-9 {
+		t.Errorf("signature = %v, want 0.75 in slot 2 and 0.25 in slot 5", sig)
+	}
+	if _, ok := ps.TemporalSignature("ghost"); ok {
+		t.Error("unknown user should report false")
+	}
+}
+
+func TestExtendedFeature(t *testing.T) {
+	flows := []trace.Flow{
+		{User: "u1", Start: 9 * 3600, End: 9*3600 + 10, Proto: "tcp", DstPort: 443, Bytes: 400},
+	}
+	ps := BuildProfiles(flows, 0, NewClassifier())
+	base, ok := ps.ExtendedFeature("u1", 0)
+	if !ok || len(base) != NumRealms {
+		t.Fatalf("base feature = %v, %v", base, ok)
+	}
+	// Weight without attached signatures degrades to the base feature.
+	same, _ := ps.ExtendedFeature("u1", 1)
+	if len(same) != NumRealms {
+		t.Errorf("without signatures feature dim = %d", len(same))
+	}
+	ps.AttachTemporalSignatures(flows)
+	ext, ok := ps.ExtendedFeature("u1", 0.5)
+	if !ok || len(ext) != NumRealms+TemporalSlots {
+		t.Fatalf("extended dim = %d, want %d", len(ext), NumRealms+TemporalSlots)
+	}
+	// Temporal components carry the weight.
+	if math.Abs(ext[NumRealms+2]-0.5) > 1e-9 {
+		t.Errorf("weighted slot = %v, want 0.5", ext[NumRealms+2])
+	}
+	if _, ok := ps.ExtendedFeature("ghost", 0.5); ok {
+		t.Error("unknown user should report false")
+	}
+}

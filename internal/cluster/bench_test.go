@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPoints(n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func BenchmarkKMeans600x6K4(b *testing.B) {
+	pts := benchPoints(600, 6)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(pts, 4, rng, Config{Restarts: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGapStatistic(b *testing.B) {
+	pts := benchPoints(200, 6)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GapStatistic(pts, rng, GapConfig{
+			MaxK: 6, ReferenceSets: 5, KMeans: Config{Restarts: 2},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSilhouette(b *testing.B) {
+	pts := benchPoints(300, 6)
+	rng := rand.New(rand.NewSource(3))
+	res, err := KMeans(pts, 4, rng, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Silhouette(pts, res.Labels, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fourBlobs generates n points around four well-separated centers in 2D.
+func fourBlobs(n int, rng *rand.Rand) ([][]float64, []int) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}}
+	points := make([][]float64, 0, n)
+	truth := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		c := i % len(centers)
+		points = append(points, []float64{
+			centers[c][0] + rng.NormFloat64()*0.5,
+			centers[c][1] + rng.NormFloat64()*0.5,
+		})
+		truth = append(truth, c)
+	}
+	return points, truth
+}
+
+// gapFriendlyBlobs generates four tight 1D clusters with unequal spacing
+// (0, 1, 3, 9). Each successive split up to k = 4 shrinks the observed
+// dispersion faster than a uniform reference shrinks (∝ 1/k²), so the gap
+// statistic rises monotonically to the true k = 4 and then flattens — the
+// geometry Tibshirani's selection rule assumes (and the shape of the
+// paper's Fig. 7).
+func gapFriendlyBlobs(n int, rng *rand.Rand) [][]float64 {
+	centers := []float64{0, 1, 3, 9}
+	points := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		c := centers[i%len(centers)]
+		points = append(points, []float64{c + rng.NormFloat64()*0.1})
+	}
+	return points
+}
+
+func TestKMeansRecoverBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points, truth := fourBlobs(200, rng)
+	res, err := KMeans(points, 4, rng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each true blob should map to exactly one cluster label.
+	blobToLabel := map[int]int{}
+	for i, lbl := range res.Labels {
+		b := truth[i]
+		if prev, ok := blobToLabel[b]; ok {
+			if prev != lbl {
+				t.Fatalf("blob %d split across labels %d and %d", b, prev, lbl)
+			}
+		} else {
+			blobToLabel[b] = lbl
+		}
+	}
+	if len(blobToLabel) != 4 {
+		t.Errorf("recovered %d blobs, want 4", len(blobToLabel))
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KMeans(nil, 1, rng, Config{}); err == nil {
+		t.Error("no points should error")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, 0, rng, Config{}); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := KMeans(pts, 3, rng, Config{}); err == nil {
+		t.Error("k>n should error")
+	}
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, err := KMeans(ragged, 1, rng, Config{}); err == nil {
+		t.Error("ragged data should error")
+	}
+}
+
+func TestKMeansK1CentroidIsMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	res, err := KMeans(points, 1, rng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 4}
+	for d := range want {
+		if math.Abs(res.Centroids[0][d]-want[d]) > 1e-9 {
+			t.Errorf("centroid = %v, want %v", res.Centroids[0], want)
+		}
+	}
+}
+
+func TestKMeansDuplicatePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(points, 2, rng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("inertia = %v, want 0 for identical points", res.Inertia)
+	}
+}
+
+// Properties: labels are in range, centroids are member means, and inertia
+// matches Dispersion.
+func TestKMeansInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		n := 5 + rng.Intn(40)
+		k := 1 + rng.Intn(4)
+		if k > n {
+			k = n
+		}
+		dim := 1 + rng.Intn(5)
+		points := make([][]float64, n)
+		for i := range points {
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = rng.Float64() * 10
+			}
+			points[i] = p
+		}
+		res, err := KMeans(points, k, rng, Config{Restarts: 2})
+		if err != nil {
+			return false
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, lbl := range res.Labels {
+			if lbl < 0 || lbl >= k {
+				return false
+			}
+			counts[lbl]++
+			for d, x := range points[i] {
+				sums[lbl][d] += x
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				want := sums[c][d] / float64(counts[c])
+				if math.Abs(res.Centroids[c][d]-want) > 1e-6 {
+					return false
+				}
+			}
+		}
+		w := Dispersion(points, res.Labels, k)
+		return math.Abs(w-res.Inertia) < 1e-6*(1+w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDispersionDecreasesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	points, _ := fourBlobs(100, rng)
+	var prev float64 = math.Inf(1)
+	for k := 1; k <= 6; k++ {
+		res, err := KMeans(points, k, rng, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := Dispersion(points, res.Labels, k)
+		if w > prev+1e-9 {
+			t.Errorf("W_%d = %v exceeds W_%d = %v", k, w, k-1, prev)
+		}
+		prev = w
+	}
+}
+
+func TestGapStatisticFindsFourBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	points := gapFriendlyBlobs(160, rng)
+	res, err := GapStatistic(points, rng, GapConfig{
+		MaxK:          8,
+		ReferenceSets: 8,
+		KMeans:        Config{Restarts: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalK != 4 {
+		t.Errorf("OptimalK = %d, want 4 (gap curve: %+v)", res.OptimalK, res.Points)
+	}
+	if len(res.Points) != 8 {
+		t.Errorf("curve length = %d, want 8", len(res.Points))
+	}
+}
+
+func TestGapStatisticErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := GapStatistic(nil, rng, GapConfig{}); err == nil {
+		t.Error("empty points should error")
+	}
+	if _, err := GapStatistic([][]float64{{1}}, rng, GapConfig{}); err == nil {
+		t.Error("single point should error")
+	}
+}
+
+func TestSelectK(t *testing.T) {
+	if _, err := SelectK(nil); err == nil {
+		t.Error("empty curve should error")
+	}
+	// Constructed curve: rule fires at k=2.
+	curve := []GapPoint{
+		{K: 1, Gap: 0.2},
+		{K: 2, Gap: 0.9, SK: 0.05},
+		{K: 3, Gap: 0.92, SK: 0.05},
+	}
+	k, err := SelectK(curve)
+	if err != nil || k != 2 {
+		t.Errorf("SelectK = %d, %v; want 2", k, err)
+	}
+	// Monotone-increasing gap with tiny SK: no k satisfies, last wins.
+	curve = []GapPoint{
+		{K: 1, Gap: 0.1}, {K: 2, Gap: 0.5, SK: 0.001}, {K: 3, Gap: 0.9, SK: 0.001},
+	}
+	k, err = SelectK(curve)
+	if err != nil || k != 3 {
+		t.Errorf("SelectK = %d, %v; want 3", k, err)
+	}
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSilhouetteSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	points, truth := fourBlobs(120, rng)
+	s, err := Silhouette(points, truth, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.8 {
+		t.Errorf("well-separated blobs silhouette = %v, want > 0.8", s)
+	}
+	// A deliberately wrong labeling (consecutive blocks mix all four
+	// blobs into each label) scores much worse.
+	bad := make([]int, len(truth))
+	for i := range bad {
+		bad[i] = (i / 4) % 4
+	}
+	sBad, err := Silhouette(points, bad, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sBad >= s {
+		t.Errorf("bad labels (%v) should score below truth (%v)", sBad, s)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	if _, err := Silhouette(nil, nil, 2); err == nil {
+		t.Error("empty points should error")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := Silhouette(pts, []int{0, 0}, 1); err == nil {
+		t.Error("k < 2 should error")
+	}
+	if _, err := Silhouette(pts, []int{0}, 2); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Silhouette(pts, []int{0, 5}, 2); err == nil {
+		t.Error("label out of range should error")
+	}
+}
+
+func TestSilhouetteSingletons(t *testing.T) {
+	// One singleton cluster: its point contributes 0, not NaN.
+	pts := [][]float64{{0}, {0.1}, {10}}
+	s, err := Silhouette(pts, []int{0, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0 || s > 1 {
+		t.Errorf("silhouette = %v out of range", s)
+	}
+}
+
+func TestSilhouetteCurveFindsFour(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	points, _ := fourBlobs(120, rng)
+	scores, bestK, err := SilhouetteCurve(points, 7, rng, Config{Restarts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 6 { // k = 2..7
+		t.Fatalf("scores = %v", scores)
+	}
+	if bestK != 4 {
+		t.Errorf("bestK = %d, want 4 (scores %v)", bestK, scores)
+	}
+}
+
+func TestSilhouetteCurveErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := SilhouetteCurve(nil, 4, rng, Config{}); err == nil {
+		t.Error("empty points should error")
+	}
+	if _, _, err := SilhouetteCurve([][]float64{{1}, {2}}, 1, rng, Config{}); err == nil {
+		t.Error("maxK < 2 should error")
+	}
+}

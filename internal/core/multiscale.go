@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// MultiscaleEstimator refines the plain per-user mean with the multiscale
+// structure the paper cites (Qiao et al., "multiscale predictability of
+// network traffic"): per-user demand varies systematically with the hour
+// of day, so the estimator keeps an hour-of-day profile per user and
+// blends it with the user's overall mean and the population mean in
+// proportion to available evidence.
+type MultiscaleEstimator struct {
+	epoch   int64
+	base    *DemandEstimator
+	byHour  map[trace.UserID]*hourProfile
+	shrinkN float64 // pseudo-count for shrinkage toward the user mean
+}
+
+type hourProfile struct {
+	sum   [24]float64
+	count [24]int
+}
+
+// NewMultiscaleEstimator trains from history sessions. epoch anchors the
+// hour-of-day computation (the trace's day-0 midnight).
+func NewMultiscaleEstimator(history []trace.Session, epoch int64) (*MultiscaleEstimator, error) {
+	base, err := NewDemandEstimator(history)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiscaleEstimator{
+		epoch:   epoch,
+		base:    base,
+		byHour:  make(map[trace.UserID]*hourProfile),
+		shrinkN: 3,
+	}
+	for _, s := range history {
+		if s.Duration() <= 0 {
+			continue
+		}
+		hp := m.byHour[s.User]
+		if hp == nil {
+			hp = &hourProfile{}
+			m.byHour[s.User] = hp
+		}
+		h := trace.HourOfDay(epoch, s.ConnectAt)
+		hp.sum[h] += s.Throughput()
+		hp.count[h]++
+	}
+	return m, nil
+}
+
+// ErrBadHour is returned for hours outside [0, 24).
+var ErrBadHour = errors.New("core: hour out of range")
+
+// DemandAt estimates user u's demand for an arrival at timestamp ts,
+// shrinking the hour-of-day estimate toward the user's overall mean when
+// that hour has little evidence.
+func (m *MultiscaleEstimator) DemandAt(u trace.UserID, ts int64) float64 {
+	userMean := m.base.Demand(u)
+	hp := m.byHour[u]
+	if hp == nil {
+		return userMean
+	}
+	h := trace.HourOfDay(m.epoch, ts)
+	n := float64(hp.count[h])
+	if n == 0 {
+		return userMean
+	}
+	hourMean := hp.sum[h] / n
+	// Bayesian-style shrinkage: few observations lean on the user mean.
+	return (n*hourMean + m.shrinkN*userMean) / (n + m.shrinkN)
+}
+
+// Demand returns the hour-agnostic estimate (the base estimator).
+func (m *MultiscaleEstimator) Demand(u trace.UserID) float64 {
+	return m.base.Demand(u)
+}
+
+// HourObservations reports how many history sessions back the (user,
+// hour) cell — exposed for diagnostics.
+func (m *MultiscaleEstimator) HourObservations(u trace.UserID, hour int) (int, error) {
+	if hour < 0 || hour > 23 {
+		return 0, ErrBadHour
+	}
+	hp := m.byHour[u]
+	if hp == nil {
+		return 0, nil
+	}
+	return hp.count[hour], nil
+}

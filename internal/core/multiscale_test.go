@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+func multiscaleHistory() []trace.Session {
+	// u1: light in the morning (hour 9), heavy in the evening (hour 20),
+	// several observations each so shrinkage barely matters.
+	var out []trace.Session
+	for d := int64(0); d < 10; d++ {
+		base := d * 86400
+		out = append(out,
+			trace.Session{User: "u1", AP: "a",
+				ConnectAt: base + 9*3600, DisconnectAt: base + 9*3600 + 100, Bytes: 1000}, // 10 B/s
+			trace.Session{User: "u1", AP: "a",
+				ConnectAt: base + 20*3600, DisconnectAt: base + 20*3600 + 100, Bytes: 100000}, // 1000 B/s
+		)
+	}
+	return out
+}
+
+func TestMultiscaleEstimatorHourly(t *testing.T) {
+	m, err := NewMultiscaleEstimator(multiscaleHistory(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	morning := m.DemandAt("u1", 9*3600+50)
+	evening := m.DemandAt("u1", 20*3600+50)
+	if morning >= evening {
+		t.Errorf("morning %v should be far below evening %v", morning, evening)
+	}
+	// With 10 observations and shrinkN = 3, estimates sit between the
+	// hour mean and the overall mean (505 B/s), close to the hour mean.
+	if morning < 10 || morning > 200 {
+		t.Errorf("morning = %v, want near 10 with shrinkage toward 505", morning)
+	}
+	if evening < 800 || evening > 1000 {
+		t.Errorf("evening = %v, want near 1000", evening)
+	}
+	// Hour-agnostic estimate is the plain mean.
+	if got := m.Demand("u1"); math.Abs(got-505) > 1e-9 {
+		t.Errorf("Demand = %v, want 505", got)
+	}
+}
+
+func TestMultiscaleEstimatorFallbacks(t *testing.T) {
+	m, err := NewMultiscaleEstimator(multiscaleHistory(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unseen hour: the user mean.
+	if got := m.DemandAt("u1", 3*3600); math.Abs(got-505) > 1e-9 {
+		t.Errorf("unseen hour = %v, want user mean 505", got)
+	}
+	// Unknown user: the population mean at any hour.
+	pop := m.Demand("ghost")
+	if got := m.DemandAt("ghost", 9*3600); got != pop {
+		t.Errorf("unknown user = %v, want population mean %v", got, pop)
+	}
+}
+
+func TestMultiscaleEstimatorEmptyHistory(t *testing.T) {
+	if _, err := NewMultiscaleEstimator(nil, 0); err == nil {
+		t.Error("empty history should error")
+	}
+}
+
+func TestHourObservations(t *testing.T) {
+	m, err := NewMultiscaleEstimator(multiscaleHistory(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.HourObservations("u1", 9)
+	if err != nil || n != 10 {
+		t.Errorf("HourObservations(9) = %d, %v; want 10", n, err)
+	}
+	n, err = m.HourObservations("u1", 3)
+	if err != nil || n != 0 {
+		t.Errorf("HourObservations(3) = %d, %v; want 0", n, err)
+	}
+	if _, err := m.HourObservations("u1", 24); err == nil {
+		t.Error("hour 24 should error")
+	}
+	n, err = m.HourObservations("ghost", 5)
+	if err != nil || n != 0 {
+		t.Errorf("unknown user observations = %d, %v", n, err)
+	}
+}

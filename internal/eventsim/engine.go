@@ -1,0 +1,149 @@
+// Package eventsim is a small deterministic discrete-event simulation
+// engine: a time-ordered event queue with a stable tie-break (insertion
+// sequence), a simulated clock, and run control. It underpins the WLAN
+// simulator in internal/wlan.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Handler is the callback invoked when an event fires. The engine passes
+// itself so handlers can schedule follow-up events.
+type Handler func(e *Engine)
+
+// event is a scheduled callback.
+type event struct {
+	at      int64
+	seq     uint64
+	handler Handler
+}
+
+// eventHeap orders events by (time, sequence) so simultaneous events fire
+// in scheduling order — the property that makes runs reproducible.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. Create with New; the zero value is
+// not usable.
+type Engine struct {
+	now     int64
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// processed counts fired events, exposed for tests and runaway
+	// detection.
+	processed uint64
+}
+
+// New returns an engine whose clock starts at startTime.
+func New(startTime int64) *Engine {
+	return &Engine{now: startTime}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() int64 { return e.now }
+
+// Processed returns the number of events fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPastEvent is returned when scheduling before the current time.
+var ErrPastEvent = errors.New("eventsim: cannot schedule event in the past")
+
+// ScheduleAt enqueues handler to fire at the absolute time at.
+func (e *Engine) ScheduleAt(at int64, handler Handler) error {
+	if at < e.now {
+		return fmt.Errorf("%w: at=%d now=%d", ErrPastEvent, at, e.now)
+	}
+	if handler == nil {
+		return errors.New("eventsim: nil handler")
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, handler: handler})
+	return nil
+}
+
+// ScheduleAfter enqueues handler to fire delay seconds from now.
+func (e *Engine) ScheduleAfter(delay int64, handler Handler) error {
+	if delay < 0 {
+		return fmt.Errorf("%w: negative delay %d", ErrPastEvent, delay)
+	}
+	return e.ScheduleAt(e.now+delay, handler)
+}
+
+// Stop halts the run after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run fires events until the queue is empty or Stop is called. It returns
+// the final simulated time.
+func (e *Engine) Run() int64 {
+	return e.RunUntil(int64(^uint64(0) >> 1)) // max int64
+}
+
+// ScheduleEvery fires handler now and then every interval seconds for as
+// long as other work remains queued: the periodic chain re-arms itself
+// only while it is not the sole pending event, so a simulation with
+// periodic ticks still terminates when the real workload drains.
+func (e *Engine) ScheduleEvery(interval int64, handler Handler) error {
+	if interval <= 0 {
+		return fmt.Errorf("%w: non-positive interval %d", ErrPastEvent, interval)
+	}
+	if handler == nil {
+		return errors.New("eventsim: nil handler")
+	}
+	var tick Handler
+	tick = func(en *Engine) {
+		handler(en)
+		if en.Pending() > 0 {
+			// Re-arm only while other work remains; scheduling relative
+			// to the current time can never be in the past.
+			if err := en.ScheduleAfter(interval, tick); err != nil {
+				panic(err) // unreachable: positive delay from now
+			}
+		}
+	}
+	return e.ScheduleAt(e.now, tick)
+}
+
+// RunUntil fires events with at <= horizon, advancing the clock to each
+// event's time. Events beyond the horizon remain queued; the clock ends at
+// min(horizon, last fired event) — it does not jump to the horizon when
+// the queue drains early.
+func (e *Engine) RunUntil(horizon int64) int64 {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.processed++
+		next.handler(e)
+	}
+	return e.now
+}

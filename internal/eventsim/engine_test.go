@@ -1,0 +1,178 @@
+package eventsim
+
+import (
+	"testing"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := New(0)
+	var fired []int
+	if err := e.ScheduleAt(30, func(*Engine) { fired = append(fired, 30) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleAt(10, func(*Engine) { fired = append(fired, 10) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleAt(20, func(*Engine) { fired = append(fired, 20) }); err != nil {
+		t.Fatal(err)
+	}
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("end time = %d, want 30", end)
+	}
+	want := []int{10, 20, 30}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d, want 3", e.Processed())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New(0)
+	var fired []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		if err := e.ScheduleAt(5, func(*Engine) { fired = append(fired, name) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	if fired[0] != "a" || fired[1] != "b" || fired[2] != "c" {
+		t.Errorf("simultaneous events out of order: %v", fired)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	e := New(100)
+	if err := e.ScheduleAt(50, func(*Engine) {}); err == nil {
+		t.Error("past event should error")
+	}
+	if err := e.ScheduleAfter(-1, func(*Engine) {}); err == nil {
+		t.Error("negative delay should error")
+	}
+	if err := e.ScheduleAt(200, nil); err == nil {
+		t.Error("nil handler should error")
+	}
+}
+
+func TestHandlersCanScheduleFollowUps(t *testing.T) {
+	e := New(0)
+	count := 0
+	var tick Handler
+	tick = func(en *Engine) {
+		count++
+		if count < 5 {
+			if err := en.ScheduleAfter(10, tick); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := e.ScheduleAt(0, tick); err != nil {
+		t.Fatal(err)
+	}
+	end := e.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if end != 40 {
+		t.Errorf("end = %d, want 40", end)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := New(0)
+	var fired []int64
+	for _, at := range []int64{10, 20, 30, 40} {
+		at := at
+		if err := e.ScheduleAt(at, func(*Engine) { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := e.RunUntil(25)
+	if end != 20 {
+		t.Errorf("end = %d, want 20", end)
+	}
+	if len(fired) != 2 {
+		t.Errorf("fired = %v, want 2 events", fired)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	// Resume to completion.
+	e.Run()
+	if len(fired) != 4 {
+		t.Errorf("after resume fired = %v", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(0)
+	var fired int
+	for i := int64(1); i <= 10; i++ {
+		if err := e.ScheduleAt(i, func(en *Engine) {
+			fired++
+			if fired == 3 {
+				en.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3 after Stop", fired)
+	}
+	// Run resumes after a stop.
+	e.Run()
+	if fired != 10 {
+		t.Errorf("fired = %d, want 10 after resume", fired)
+	}
+}
+
+func TestNowAdvancesDuringHandlers(t *testing.T) {
+	e := New(5)
+	if e.Now() != 5 {
+		t.Errorf("Now = %d, want 5", e.Now())
+	}
+	var seen int64
+	if err := e.ScheduleAt(42, func(en *Engine) { seen = en.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if seen != 42 {
+		t.Errorf("handler saw Now = %d, want 42", seen)
+	}
+}
+
+func TestScheduleEvery(t *testing.T) {
+	e := New(0)
+	ticks := 0
+	if err := e.ScheduleEvery(10, func(*Engine) { ticks++ }); err != nil {
+		t.Fatal(err)
+	}
+	// Real workload until t=35: ticks at 0, 10, 20, 30, and one final
+	// re-armed tick at 40 that finds the queue empty and stops.
+	for _, at := range []int64{5, 15, 35} {
+		if err := e.ScheduleAt(at, func(*Engine) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	if ticks < 4 || ticks > 5 {
+		t.Errorf("ticks = %d, want 4-5 (self-terminating chain)", ticks)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", e.Pending())
+	}
+	// Validation.
+	if err := e.ScheduleEvery(0, func(*Engine) {}); err == nil {
+		t.Error("zero interval should error")
+	}
+	if err := e.ScheduleEvery(5, nil); err == nil {
+		t.Error("nil handler should error")
+	}
+}

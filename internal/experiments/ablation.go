@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/s3wlan/s3wlan/internal/baseline"
+	"github.com/s3wlan/s3wlan/internal/core"
+	"github.com/s3wlan/s3wlan/internal/society"
+	"github.com/s3wlan/s3wlan/internal/trace"
+	"github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+// This file holds the ablation studies for the design choices DESIGN.md
+// calls out beyond the paper's own figures:
+//
+//   - the controller's load-report staleness (the herd-effect lever that
+//     makes load-only balancing fragile),
+//   - the full baseline panel (is S³'s edge really the social signal, or
+//     just count-balancing?),
+//   - the S³ balance guard (how much load-awareness the social dispersal
+//     needs), and
+//   - the co-arrival batch window (the value of Algorithm 1's joint
+//     clique placement over purely online decisions).
+
+// AblationBaselinesResult compares S³ against every baseline policy.
+type AblationBaselinesResult struct {
+	// Policies and Means are parallel; Means[i] is the mean normalized
+	// balance index of Policies[i].
+	Policies []string
+	Means    []float64
+	// S3Mean is the S³ result on the same data.
+	S3Mean float64
+}
+
+// AblationBaselines runs the full baseline panel.
+func AblationBaselines(d *Data) (*AblationBaselinesResult, error) {
+	res := &AblationBaselinesResult{}
+	panel := []struct {
+		name    string
+		factory func(trace.ControllerID, []trace.AP) wlan.Selector
+	}{
+		{"LLF", func(trace.ControllerID, []trace.AP) wlan.Selector { return baseline.LLF{} }},
+		{"LeastUsers", func(trace.ControllerID, []trace.AP) wlan.Selector { return baseline.LeastUsers{} }},
+		{"StrongestRSSI", func(trace.ControllerID, []trace.AP) wlan.Selector { return baseline.StrongestRSSI{} }},
+		{"Random", func(trace.ControllerID, []trace.AP) wlan.Selector { return baseline.NewRandom(1) }},
+		{"RoundRobin", func(trace.ControllerID, []trace.AP) wlan.Selector { return &baseline.RoundRobin{} }},
+	}
+	for _, p := range panel {
+		sim, err := d.RunSelector(p.factory)
+		if err != nil {
+			return nil, fmt.Errorf("ablation baseline %s: %w", p.name, err)
+		}
+		mean, err := MeanBalance(sim)
+		if err != nil {
+			return nil, err
+		}
+		res.Policies = append(res.Policies, p.name)
+		res.Means = append(res.Means, mean)
+	}
+	s3Sim, err := d.RunS3(society.DefaultConfig(), core.DefaultSelectorConfig())
+	if err != nil {
+		return nil, err
+	}
+	res.S3Mean, err = MeanBalance(s3Sim)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render formats the ablation as text.
+func (r *AblationBaselinesResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: S3 vs baseline panel (mean normalized balance index)\n")
+	fmt.Fprintf(&sb, "  %-16s %-10s %-10s\n", "policy", "balance", "S3 gain")
+	for i, p := range r.Policies {
+		gain := 0.0
+		if r.Means[i] > 0 {
+			gain = (r.S3Mean - r.Means[i]) / r.Means[i] * 100
+		}
+		fmt.Fprintf(&sb, "  %-16s %-10.4f %+.1f%%\n", p, r.Means[i], gain)
+	}
+	fmt.Fprintf(&sb, "  %-16s %-10.4f\n", "S3", r.S3Mean)
+	return sb.String()
+}
+
+// AblationStalenessResult sweeps the controller's load-report interval.
+type AblationStalenessResult struct {
+	// IntervalsSeconds[i] pairs with S3Means[i] and LLFMeans[i];
+	// 0 means live load.
+	IntervalsSeconds []int64
+	S3Means          []float64
+	LLFMeans         []float64
+}
+
+// AblationStaleness sweeps the report interval for both policies. The
+// data's interval is restored afterwards.
+func AblationStaleness(d *Data, intervals []int64) (*AblationStalenessResult, error) {
+	if len(intervals) == 0 {
+		intervals = []int64{0, 60, 180, 300, 600}
+	}
+	saved := d.ReportIntervalSeconds
+	defer func() { d.ReportIntervalSeconds = saved }()
+
+	res := &AblationStalenessResult{IntervalsSeconds: intervals}
+	for _, iv := range intervals {
+		d.ReportIntervalSeconds = iv
+		s3Sim, err := d.RunS3(society.DefaultConfig(), core.DefaultSelectorConfig())
+		if err != nil {
+			return nil, fmt.Errorf("ablation staleness %ds: %w", iv, err)
+		}
+		s3Mean, err := MeanBalance(s3Sim)
+		if err != nil {
+			return nil, err
+		}
+		llfSim, err := d.RunLLF()
+		if err != nil {
+			return nil, err
+		}
+		llfMean, err := MeanBalance(llfSim)
+		if err != nil {
+			return nil, err
+		}
+		res.S3Means = append(res.S3Means, s3Mean)
+		res.LLFMeans = append(res.LLFMeans, llfMean)
+	}
+	return res, nil
+}
+
+// Render formats the ablation as text.
+func (r *AblationStalenessResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: load-report staleness (controller polling period)\n")
+	fmt.Fprintf(&sb, "  %-12s %-10s %-10s %-10s\n", "interval", "S3", "LLF", "gain")
+	for i, iv := range r.IntervalsSeconds {
+		gain := 0.0
+		if r.LLFMeans[i] > 0 {
+			gain = (r.S3Means[i] - r.LLFMeans[i]) / r.LLFMeans[i] * 100
+		}
+		label := "live"
+		if iv > 0 {
+			label = fmt.Sprintf("%ds", iv)
+		}
+		fmt.Fprintf(&sb, "  %-12s %-10.4f %-10.4f %+.1f%%\n",
+			label, r.S3Means[i], r.LLFMeans[i], gain)
+	}
+	return sb.String()
+}
+
+// AblationGuardResult sweeps S³'s balance guard.
+type AblationGuardResult struct {
+	Guards []float64
+	Means  []float64
+}
+
+// AblationGuard sweeps SelectorConfig.BalanceGuard.
+func AblationGuard(d *Data, guards []float64) (*AblationGuardResult, error) {
+	if len(guards) == 0 {
+		guards = []float64{0.1, 0.25, 0.5, 1, 2, 100}
+	}
+	res := &AblationGuardResult{Guards: guards}
+	for _, g := range guards {
+		cfg := core.DefaultSelectorConfig()
+		cfg.BalanceGuard = g
+		sim, err := d.RunS3(society.DefaultConfig(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation guard %v: %w", g, err)
+		}
+		mean, err := MeanBalance(sim)
+		if err != nil {
+			return nil, err
+		}
+		res.Means = append(res.Means, mean)
+	}
+	return res, nil
+}
+
+// Render formats the ablation as text.
+func (r *AblationGuardResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: S3 balance guard\n")
+	fmt.Fprintf(&sb, "  %-10s %-10s\n", "guard", "balance")
+	for i, g := range r.Guards {
+		fmt.Fprintf(&sb, "  %-10.2f %-10.4f\n", g, r.Means[i])
+	}
+	return sb.String()
+}
+
+// AblationBatchWindowResult sweeps the co-arrival batch window.
+type AblationBatchWindowResult struct {
+	WindowsSeconds []int64
+	Means          []float64
+}
+
+// AblationBatchWindow sweeps the Algorithm 1 batching window; 0 disables
+// joint placement (purely online decisions). The data's window is
+// restored afterwards.
+func AblationBatchWindow(d *Data, windows []int64) (*AblationBatchWindowResult, error) {
+	if len(windows) == 0 {
+		windows = []int64{0, 30, 60, 120, 300}
+	}
+	saved := d.BatchWindowSeconds
+	defer func() { d.BatchWindowSeconds = saved }()
+
+	res := &AblationBatchWindowResult{WindowsSeconds: windows}
+	for _, w := range windows {
+		d.BatchWindowSeconds = w
+		sim, err := d.RunS3(society.DefaultConfig(), core.DefaultSelectorConfig())
+		if err != nil {
+			return nil, fmt.Errorf("ablation batch window %ds: %w", w, err)
+		}
+		mean, err := MeanBalance(sim)
+		if err != nil {
+			return nil, err
+		}
+		res.Means = append(res.Means, mean)
+	}
+	return res, nil
+}
+
+// Render formats the ablation as text.
+func (r *AblationBatchWindowResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: Algorithm 1 co-arrival batch window\n")
+	fmt.Fprintf(&sb, "  %-10s %-10s\n", "window", "balance")
+	for i, w := range r.WindowsSeconds {
+		fmt.Fprintf(&sb, "  %-10d %-10.4f\n", w, r.Means[i])
+	}
+	return sb.String()
+}
+
+// AblationTemporalResult sweeps the temporal-feature weight — the paper's
+// future-work profile extension.
+type AblationTemporalResult struct {
+	Weights []float64
+	Means   []float64
+}
+
+// AblationTemporal sweeps society.Config.TemporalWeight (0 reproduces the
+// paper's pure 6-realm profiles).
+func AblationTemporal(d *Data, weights []float64) (*AblationTemporalResult, error) {
+	if len(weights) == 0 {
+		weights = []float64{0, 0.25, 0.5, 1}
+	}
+	res := &AblationTemporalResult{Weights: weights}
+	for _, w := range weights {
+		cfg := society.DefaultConfig()
+		cfg.TemporalWeight = w
+		sim, err := d.RunS3(cfg, core.DefaultSelectorConfig())
+		if err != nil {
+			return nil, fmt.Errorf("ablation temporal %v: %w", w, err)
+		}
+		mean, err := MeanBalance(sim)
+		if err != nil {
+			return nil, err
+		}
+		res.Means = append(res.Means, mean)
+	}
+	return res, nil
+}
+
+// Render formats the ablation as text.
+func (r *AblationTemporalResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: temporal profile features (future-work extension)\n")
+	fmt.Fprintf(&sb, "  %-10s %-10s\n", "weight", "balance")
+	for i, w := range r.Weights {
+		fmt.Fprintf(&sb, "  %-10.2f %-10.4f\n", w, r.Means[i])
+	}
+	return sb.String()
+}

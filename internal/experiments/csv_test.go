@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"io"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/core"
+	"github.com/s3wlan/s3wlan/internal/society"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	r := csv.NewReader(buf)
+	var rows [][]string
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("CSV parse: %v", err)
+		}
+		rows = append(rows, rec)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("CSV has no data rows")
+	}
+	return rows
+}
+
+func TestExperimentCSVExports(t *testing.T) {
+	d := prepareSmall(t)
+
+	t.Run("fig10", func(t *testing.T) {
+		res, err := Fig10(d, []int64{60, 300}, []float64{0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if rows := parseCSV(t, &buf); len(rows)-1 != 2 {
+			t.Errorf("rows = %d, want 2", len(rows)-1)
+		}
+	})
+
+	t.Run("fig11", func(t *testing.T) {
+		res, err := Fig11(d, []int{1, 5}, []float64{0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parseCSV(t, &buf)
+	})
+
+	t.Run("fig12", func(t *testing.T) {
+		res, err := Fig12(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rows := parseCSV(t, &buf)
+		if len(rows)-1 != 2*len(res.Domains) {
+			t.Errorf("rows = %d, want %d", len(rows)-1, 2*len(res.Domains))
+		}
+	})
+
+	t.Run("ablations", func(t *testing.T) {
+		ab, err := AblationBaselines(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ab.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parseCSV(t, &buf)
+		st, err := AblationStaleness(d, []int64{0, 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+		if err := st.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parseCSV(t, &buf)
+	})
+}
+
+func TestExtractAndCompareSeries(t *testing.T) {
+	d := prepareSmall(t)
+	s3Res, err := d.RunS3(societyDefault(), coreDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	llfRes, err := d.RunLLF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ExtractSeries(s3Res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExtractSeries(llfRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Policy != "S3" || b.Policy != "LLF" {
+		t.Errorf("policies = %q, %q", a.Policy, b.Policy)
+	}
+	if len(a.Times) == 0 || len(a.Times) != len(b.Times) {
+		t.Fatalf("times = %d vs %d", len(a.Times), len(b.Times))
+	}
+	var buf bytes.Buffer
+	if err := WriteComparisonSeriesCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	wantRows := len(a.ByDomain) * len(a.Times)
+	if len(rows)-1 != wantRows {
+		t.Errorf("rows = %d, want %d", len(rows)-1, wantRows)
+	}
+	// Mismatched series error.
+	short := &PolicySeries{Policy: "x", Times: a.Times[:1]}
+	if err := WriteComparisonSeriesCSV(&buf, a, short); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+// small helpers keeping the test terse
+func societyDefault() society.Config   { return society.DefaultConfig() }
+func coreDefault() core.SelectorConfig { return core.DefaultSelectorConfig() }
+
+func TestFig12SeriesCSV(t *testing.T) {
+	d := prepareSmall(t)
+	res, err := Fig12(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteSeriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parseCSV(t, &buf)
+	var empty Fig12Result
+	if err := empty.WriteSeriesCSV(&buf); err == nil {
+		t.Error("missing series should error")
+	}
+}

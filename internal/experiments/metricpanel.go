@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/s3wlan/s3wlan/internal/core"
+	"github.com/s3wlan/s3wlan/internal/metrics"
+	"github.com/s3wlan/s3wlan/internal/society"
+	"github.com/s3wlan/s3wlan/internal/stats"
+	"github.com/s3wlan/s3wlan/internal/trace"
+	"github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+// MetricPanelResult cross-checks the headline comparison under the
+// alternative fairness metrics the paper mentions (max-min, proportional
+// fairness) plus the Gini coefficient: S³'s advantage must not be an
+// artifact of the Chiu–Jain index.
+type MetricPanelResult struct {
+	// Metrics names the rows: chiu-jain, max-min, proportional, gini.
+	Metrics []string
+	// S3 and LLF are the mean per-bin values under each metric. For gini,
+	// lower is better; for the others, higher is better.
+	S3, LLF []float64
+}
+
+// MetricPanel runs both policies once and evaluates every fairness metric
+// over the same active bins.
+func MetricPanel(d *Data) (*MetricPanelResult, error) {
+	s3Res, err := d.RunS3(society.DefaultConfig(), core.DefaultSelectorConfig())
+	if err != nil {
+		return nil, err
+	}
+	llfRes, err := d.RunLLF()
+	if err != nil {
+		return nil, err
+	}
+	res := &MetricPanelResult{
+		Metrics: []string{"chiu-jain", "max-min", "proportional", "gini"},
+	}
+	evaluators := []func([]float64) (float64, error){
+		metrics.NormalizedBalanceIndex,
+		metrics.MaxMinRatio,
+		metrics.ProportionalFairness,
+		metrics.Gini,
+	}
+	for _, eval := range evaluators {
+		s3Mean, err := meanMetric(s3Res, eval)
+		if err != nil {
+			return nil, err
+		}
+		llfMean, err := meanMetric(llfRes, eval)
+		if err != nil {
+			return nil, err
+		}
+		res.S3 = append(res.S3, s3Mean)
+		res.LLF = append(res.LLF, llfMean)
+	}
+	return res, nil
+}
+
+// meanMetric evaluates a per-bin load metric over all active bins of all
+// domains.
+func meanMetric(res *wlan.Result, eval func([]float64) (float64, error)) (float64, error) {
+	var w stats.Welford
+	for _, c := range res.Controllers() {
+		dom := res.Domains[c]
+		sessions := make([]trace.Session, 0, len(dom.Assigned))
+		for _, a := range dom.Assigned {
+			s := a.Session
+			s.AP = a.AP
+			sessions = append(sessions, s)
+		}
+		loads, err := trace.BinLoads(sessions, dom.APs, res.Start, res.End, res.BinSeconds)
+		if err != nil {
+			return 0, err
+		}
+		for _, row := range loads {
+			var total float64
+			for _, v := range row {
+				total += v
+			}
+			if total == 0 {
+				continue
+			}
+			v, err := eval(row)
+			if err != nil {
+				return 0, err
+			}
+			w.Add(v)
+		}
+	}
+	if w.N() == 0 {
+		return 0, fmt.Errorf("experiments: no active bins")
+	}
+	return w.Mean(), nil
+}
+
+// Render formats the panel as text.
+func (r *MetricPanelResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: fairness-metric panel (per-bin means)\n")
+	fmt.Fprintf(&sb, "  %-14s %-10s %-10s %-10s\n", "metric", "S3", "LLF", "winner")
+	for i, name := range r.Metrics {
+		s3Wins := r.S3[i] > r.LLF[i]
+		if name == "gini" {
+			s3Wins = r.S3[i] < r.LLF[i] // lower Gini is better
+		}
+		winner := "LLF"
+		if s3Wins {
+			winner = "S3"
+		}
+		fmt.Fprintf(&sb, "  %-14s %-10.4f %-10.4f %s\n", name, r.S3[i], r.LLF[i], winner)
+	}
+	return sb.String()
+}

@@ -1,0 +1,259 @@
+// Package experiments implements the paper's evaluation (Section V):
+// trace-driven simulation of S³ against LLF with the paper's protocol —
+// four weeks of training data to learn sociality, the following days for
+// AP-selection experiments — and the three evaluation artifacts: the
+// parameter sweeps over the co-leaving extraction interval (Fig. 10) and
+// the history length (Fig. 11), and the S³-vs-LLF comparison (Fig. 12).
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/s3wlan/s3wlan/internal/apps"
+	"github.com/s3wlan/s3wlan/internal/baseline"
+	"github.com/s3wlan/s3wlan/internal/core"
+	"github.com/s3wlan/s3wlan/internal/society"
+	"github.com/s3wlan/s3wlan/internal/stats"
+	"github.com/s3wlan/s3wlan/internal/synth"
+	"github.com/s3wlan/s3wlan/internal/trace"
+	"github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+// Data is a prepared experiment dataset: the generated campus trace split
+// into training and test ranges, with profiles and demand estimates built
+// from the training split only.
+type Data struct {
+	Campus    synth.Config
+	Full      *trace.Trace
+	Train     *trace.Trace
+	Test      *trace.Trace
+	Profiles  *apps.ProfileStore
+	Demands   *core.DemandEstimator
+	TrainDays int
+	// ReportIntervalSeconds is the controller's AP-load polling period
+	// used in simulations (default 300; 0 = live load). Exposed so the
+	// staleness ablation can vary it.
+	ReportIntervalSeconds int64
+	// BatchWindowSeconds groups co-arrivals for Algorithm 1 (default 60).
+	BatchWindowSeconds int64
+}
+
+// Prepare generates the campus and builds the training artifacts. The
+// paper trains on four weeks (July 4–24) and tests on the following days
+// (July 25–27); trainDays defaults to 28 with the remaining days as test.
+func Prepare(campus synth.Config, trainDays int) (*Data, error) {
+	if trainDays <= 0 {
+		trainDays = 28
+	}
+	if trainDays >= campus.Days {
+		return nil, fmt.Errorf("experiments: trainDays %d must be < campus days %d",
+			trainDays, campus.Days)
+	}
+	full, _, err := synth.Generate(campus)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate campus: %w", err)
+	}
+	return PrepareTrace(full, campus, trainDays)
+}
+
+// PrepareTrace builds the experiment dataset from an existing trace (e.g.
+// loaded from disk) instead of generating one. campus supplies the epoch
+// and is recorded for reporting; its other fields need not match the
+// trace.
+func PrepareTrace(full *trace.Trace, campus synth.Config, trainDays int) (*Data, error) {
+	if trainDays <= 0 {
+		trainDays = 28
+	}
+	cut := campus.Epoch + int64(trainDays)*86400
+	train, test := full.SplitAt(cut)
+	if len(train.Sessions) == 0 {
+		return nil, errors.New("experiments: empty training split")
+	}
+	if len(test.Sessions) == 0 {
+		return nil, errors.New("experiments: empty test split")
+	}
+	profiles := apps.BuildProfiles(train.Flows, campus.Epoch, apps.NewClassifier())
+	profiles.AttachTemporalSignatures(train.Flows)
+	demands, err := core.NewDemandEstimator(train.Sessions)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: demand estimator: %w", err)
+	}
+	return &Data{
+		Campus:                campus,
+		Full:                  full,
+		Train:                 train,
+		Test:                  test,
+		Profiles:              profiles,
+		Demands:               demands,
+		TrainDays:             trainDays,
+		ReportIntervalSeconds: 300,
+		BatchWindowSeconds:    60,
+	}, nil
+}
+
+// simConfig builds the common simulation config: demands come from the
+// history-based estimator (the controller's belief), accounting from the
+// sessions themselves.
+func (d *Data) simConfig(selectorFor func(trace.ControllerID, []trace.AP) wlan.Selector) wlan.Config {
+	return wlan.Config{
+		BinSeconds:         300, // the paper's five-minute sub-periods
+		SelectorFor:        selectorFor,
+		DemandFor:          func(s trace.Session) float64 { return d.Demands.Demand(s.User) },
+		BatchWindowSeconds: d.BatchWindowSeconds, // co-arrivals for Algorithm 1
+		// Controllers learn AP traffic from periodic reports; during an
+		// arrival burst every policy that ranks on measured load sees the
+		// same stale snapshot (the classic herd effect). Association
+		// state stays live.
+		LoadReportIntervalSeconds: d.ReportIntervalSeconds,
+	}
+}
+
+// RunS3 trains a sociality model with the given parameters and simulates
+// the test trace under the S³ policy.
+func (d *Data) RunS3(societyCfg society.Config, selCfg core.SelectorConfig) (*wlan.Result, error) {
+	model, err := society.Train(d.Train, d.Profiles, societyCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: train sociality: %w", err)
+	}
+	sel, err := core.NewSelector(model, selCfg)
+	if err != nil {
+		return nil, err
+	}
+	return wlan.Simulate(d.Test, d.simConfig(
+		func(trace.ControllerID, []trace.AP) wlan.Selector { return sel }))
+}
+
+// RunLLF simulates the test trace under the LLF baseline.
+func (d *Data) RunLLF() (*wlan.Result, error) {
+	return wlan.Simulate(d.Test, d.simConfig(
+		func(trace.ControllerID, []trace.AP) wlan.Selector { return baseline.LLF{} }))
+}
+
+// RunSelector simulates the test trace under an arbitrary policy factory.
+func (d *Data) RunSelector(factory func(trace.ControllerID, []trace.AP) wlan.Selector) (*wlan.Result, error) {
+	return wlan.Simulate(d.Test, d.simConfig(factory))
+}
+
+// MeanBalance returns the mean normalized balance index over all active
+// bins of all controller domains of a simulation result.
+func MeanBalance(res *wlan.Result) (float64, error) {
+	var w stats.Welford
+	for _, c := range res.Controllers() {
+		series, err := res.LoadSeries(c)
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range series.ActiveValues() {
+			w.Add(v)
+		}
+	}
+	if w.N() == 0 {
+		return 0, errors.New("experiments: no active bins")
+	}
+	return w.Mean(), nil
+}
+
+// DomainBalances returns, per controller, the active-bin normalized
+// balance values of a simulation result.
+func DomainBalances(res *wlan.Result) (map[trace.ControllerID][]float64, error) {
+	out := make(map[trace.ControllerID][]float64, len(res.Domains))
+	for _, c := range res.Controllers() {
+		series, err := res.LoadSeries(c)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = series.ActiveValues()
+	}
+	return out, nil
+}
+
+// LeavePeakHours are the paper's departure-peak hours (12:00–13:00,
+// 16:00–17:50, 21:00–22:00), when S³'s resilience to co-leaving shows
+// most.
+var LeavePeakHours = map[int]bool{12: true, 16: true, 17: true, 21: true}
+
+// BalancesByHourFilter returns all active-bin balance values whose bin
+// start falls in hours accepted by the filter.
+func BalancesByHourFilter(res *wlan.Result, epoch int64, accept func(hour int) bool) ([]float64, error) {
+	var out []float64
+	for _, c := range res.Controllers() {
+		series, err := res.LoadSeries(c)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range series.Values {
+			if series.Idle[i] {
+				continue
+			}
+			if accept(trace.HourOfDay(epoch, series.BinTime(i))) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out, nil
+}
+
+// sweepJob is one independent parameter-sweep run: run computes a value,
+// store records it (called on the coordinating goroutine only).
+type sweepJob struct {
+	run   func() (float64, error)
+	store func(float64)
+}
+
+// sweepParallelism bounds concurrent sweep runs. Each run re-trains a
+// sociality model and replays the test trace, so a handful in flight
+// saturates a typical machine without exhausting memory.
+var sweepParallelism = runtime.GOMAXPROCS(0)
+
+// runSweep executes the jobs with bounded parallelism. Results are stored
+// in deterministic positions (each job knows its slot), so the output is
+// identical to a serial sweep. The first error aborts the rest.
+func runSweep(jobs []sweepJob) error {
+	type outcome struct {
+		idx int
+		val float64
+		err error
+	}
+	n := sweepParallelism
+	if n < 1 {
+		n = 1
+	}
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	work := make(chan int)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				v, err := jobs[idx].run()
+				results <- outcome{idx: idx, val: v, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		close(results)
+	}()
+	var firstErr error
+	for out := range results {
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		jobs[out.idx].store(out.val)
+	}
+	return firstErr
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/s3wlan/s3wlan/internal/stats"
+	"github.com/s3wlan/s3wlan/internal/synth"
+)
+
+// ReplicatedFig12Result aggregates the headline comparison over several
+// independently generated campuses (different seeds), giving the gain a
+// confidence interval instead of a single-trace point estimate.
+type ReplicatedFig12Result struct {
+	Seeds []int64
+	// Gains and PeakGains are the per-seed percentages.
+	Gains     []float64
+	PeakGains []float64
+	// MeanGain and GainCI95 summarize the gains.
+	MeanGain, GainCI95 float64
+	// MeanPeakGain and PeakGainCI95 summarize the leave-peak gains.
+	MeanPeakGain, PeakGainCI95 float64
+	// Wins counts seeds where S³ beat LLF overall.
+	Wins int
+}
+
+// ReplicateFig12 runs the full prepare-train-simulate-compare pipeline
+// once per seed.
+func ReplicateFig12(campus synth.Config, trainDays int, seeds []int64) (*ReplicatedFig12Result, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("experiments: no seeds")
+	}
+	res := &ReplicatedFig12Result{Seeds: seeds}
+	for _, seed := range seeds {
+		cfg := campus
+		cfg.Seed = seed
+		d, err := Prepare(cfg, trainDays)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		fig, err := Fig12(d)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		res.Gains = append(res.Gains, fig.GainPercent)
+		res.PeakGains = append(res.PeakGains, fig.LeavePeakGainPercent)
+		if fig.GainPercent > 0 {
+			res.Wins++
+		}
+	}
+	res.MeanGain, res.GainCI95 = stats.MeanCI(res.Gains, 0.95)
+	res.MeanPeakGain, res.PeakGainCI95 = stats.MeanCI(res.PeakGains, 0.95)
+	return res, nil
+}
+
+// Render formats the replication as text.
+func (r *ReplicatedFig12Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 12 replicated over %d seeds\n", len(r.Seeds))
+	fmt.Fprintf(&sb, "  gain: %.1f%% ± %.1f%%   leave-peak gain: %.1f%% ± %.1f%%   wins: %d/%d\n",
+		r.MeanGain, r.GainCI95, r.MeanPeakGain, r.PeakGainCI95, r.Wins, len(r.Seeds))
+	fmt.Fprintf(&sb, "  %-8s %-10s %-10s\n", "seed", "gain", "peak gain")
+	for i, seed := range r.Seeds {
+		fmt.Fprintf(&sb, "  %-8d %+-9.1f%% %+-9.1f%%\n",
+			seed, r.Gains[i], r.PeakGains[i])
+	}
+	return sb.String()
+}

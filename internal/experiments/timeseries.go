@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+	"github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+// PolicySeries is one policy's balance-index time series across domains —
+// the data behind the classic S³-vs-LLF-over-a-day plot.
+type PolicySeries struct {
+	Policy     string
+	BinSeconds int64
+	// Times holds the bin left edges (identical across domains).
+	Times []int64
+	// ByDomain maps each controller to its per-bin normalized balance
+	// values (NaN-free; idle bins carry 1 per the metric's definition).
+	ByDomain map[trace.ControllerID][]float64
+}
+
+// ExtractSeries pulls the per-domain time series out of a simulation
+// result.
+func ExtractSeries(res *wlan.Result) (*PolicySeries, error) {
+	out := &PolicySeries{
+		Policy:     res.Policy,
+		BinSeconds: res.BinSeconds,
+		ByDomain:   make(map[trace.ControllerID][]float64, len(res.Domains)),
+	}
+	for _, c := range res.Controllers() {
+		series, err := res.LoadSeries(c)
+		if err != nil {
+			return nil, err
+		}
+		if out.Times == nil {
+			out.Times = make([]int64, len(series.Values))
+			for i := range series.Values {
+				out.Times[i] = series.BinTime(i)
+			}
+		}
+		out.ByDomain[c] = series.Values
+	}
+	return out, nil
+}
+
+// WriteComparisonSeriesCSV writes two policies' series side by side:
+// columns time, domain, <policyA>, <policyB>. Both results must come from
+// the same test trace (same bins).
+func WriteComparisonSeriesCSV(out io.Writer, a, b *PolicySeries) error {
+	if len(a.Times) != len(b.Times) {
+		return fmt.Errorf("experiments: series lengths differ (%d vs %d)",
+			len(a.Times), len(b.Times))
+	}
+	w := csv.NewWriter(out)
+	header := []string{"time", "domain", a.Policy, b.Policy}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for c, aVals := range a.ByDomain {
+		bVals, ok := b.ByDomain[c]
+		if !ok {
+			return fmt.Errorf("experiments: domain %s missing from %s", c, b.Policy)
+		}
+		for i := range aVals {
+			rec := []string{
+				strconv.FormatInt(a.Times[i], 10),
+				string(c),
+				strconv.FormatFloat(aVals[i], 'g', 8, 64),
+				strconv.FormatFloat(bVals[i], 'g', 8, 64),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxMinRatio(t *testing.T) {
+	tests := []struct {
+		name    string
+		loads   []float64
+		want    float64
+		wantErr bool
+	}{
+		{"empty", nil, 0, true},
+		{"negative", []float64{-1}, 0, true},
+		{"even", []float64{4, 4, 4}, 1, false},
+		{"idle", []float64{0, 0}, 1, false},
+		{"half", []float64{2, 4}, 0.5, false},
+		{"zero min", []float64{0, 5}, 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := MaxMinRatio(tt.loads)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("MaxMinRatio = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestProportionalFairness(t *testing.T) {
+	tests := []struct {
+		name    string
+		loads   []float64
+		want    float64
+		wantErr bool
+	}{
+		{"empty", nil, 0, true},
+		{"even", []float64{3, 3, 3}, 1, false},
+		{"idle", []float64{0, 0}, 1, false},
+		{"with zero", []float64{0, 6}, 0, false},
+		{"uneven", []float64{1, 4}, 0.8, false}, // geo=2, mean=2.5
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ProportionalFairness(tt.loads)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && !almostEqual(got, tt.want, 1e-9) {
+				t.Errorf("ProportionalFairness = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGini(t *testing.T) {
+	tests := []struct {
+		name    string
+		loads   []float64
+		want    float64
+		wantErr bool
+	}{
+		{"empty", nil, 0, true},
+		{"even", []float64{5, 5, 5, 5}, 0, false},
+		{"idle", []float64{0, 0}, 0, false},
+		// One user owns everything among two: G = 1/2 for n=2.
+		{"concentrated", []float64{0, 10}, 0.5, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Gini(tt.loads)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Gini = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: all fairness metrics agree on the ordering "balanced beats
+// concentrated", and ranges hold.
+func TestFairnessMetricsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func() bool {
+		n := 2 + rng.Intn(8)
+		loads := make([]float64, n)
+		for i := range loads {
+			loads[i] = rng.Float64() * 100
+		}
+		mm, err1 := MaxMinRatio(loads)
+		pf, err2 := ProportionalFairness(loads)
+		g, err3 := Gini(loads)
+		b, err4 := NormalizedBalanceIndex(loads)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		if mm < 0 || mm > 1 || pf < 0 || pf > 1 || g < 0 || g >= 1 || b < 0 || b > 1 {
+			return false
+		}
+		// A perfectly even copy scores at least as well on every metric.
+		even := make([]float64, n)
+		var sum float64
+		for _, v := range loads {
+			sum += v
+		}
+		for i := range even {
+			even[i] = sum / float64(n)
+		}
+		mmE, _ := MaxMinRatio(even)
+		pfE, _ := ProportionalFairness(even)
+		gE, _ := Gini(even)
+		bE, _ := NormalizedBalanceIndex(even)
+		return mmE >= mm-1e-9 && pfE >= pf-1e-9 && gE <= g+1e-9 && bE >= b-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

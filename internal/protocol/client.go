@@ -1,0 +1,139 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// APAgent is the client side of a registered access point: it announces
+// the AP to the controller and streams load reports.
+type APAgent struct {
+	conn *Conn
+	id   trace.APID
+}
+
+// DialAP connects an AP agent and registers the AP.
+func DialAP(addr string, id trace.APID, capacityBps float64, timeout time.Duration) (*APAgent, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: dial: %w", err)
+	}
+	conn := NewConn(raw, timeout)
+	if err := conn.Send(Message{
+		Type:        MsgHello,
+		Role:        RoleAP,
+		ID:          string(id),
+		CapacityBps: capacityBps,
+	}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	reply, err := conn.Receive()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if reply.Type == MsgError {
+		conn.Close()
+		return nil, fmt.Errorf("protocol: register AP: %s", reply.Error)
+	}
+	if reply.Type != MsgHelloOK {
+		conn.Close()
+		return nil, fmt.Errorf("protocol: unexpected reply %s", reply.Type)
+	}
+	return &APAgent{conn: conn, id: id}, nil
+}
+
+// Report sends one load report.
+func (a *APAgent) Report(loadBps float64) error {
+	return a.conn.Send(Message{Type: MsgReport, AP: string(a.id), LoadBps: loadBps})
+}
+
+// Close disconnects the agent.
+func (a *APAgent) Close() error { return a.conn.Close() }
+
+// Station is the client side of a WLAN user.
+type Station struct {
+	conn *Conn
+	user trace.UserID
+	ap   trace.APID
+}
+
+// DialStation connects and registers a station.
+func DialStation(addr string, user trace.UserID, timeout time.Duration) (*Station, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: dial: %w", err)
+	}
+	conn := NewConn(raw, timeout)
+	if err := conn.Send(Message{Type: MsgHello, Role: RoleStation, ID: string(user)}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	reply, err := conn.Receive()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if reply.Type == MsgError {
+		conn.Close()
+		return nil, fmt.Errorf("protocol: register station: %s", reply.Error)
+	}
+	if reply.Type != MsgHelloOK {
+		conn.Close()
+		return nil, fmt.Errorf("protocol: unexpected reply %s", reply.Type)
+	}
+	return &Station{conn: conn, user: user}, nil
+}
+
+// Associate requests an AP and returns the controller's assignment.
+func (s *Station) Associate(demandBps float64) (trace.APID, error) {
+	if err := s.conn.Send(Message{
+		Type:      MsgAssoc,
+		User:      string(s.user),
+		DemandBps: demandBps,
+	}); err != nil {
+		return "", err
+	}
+	reply, err := s.conn.Receive()
+	if err != nil {
+		return "", err
+	}
+	switch reply.Type {
+	case MsgAssign:
+		s.ap = trace.APID(reply.AP)
+		return s.ap, nil
+	case MsgError:
+		return "", fmt.Errorf("protocol: associate: %s", reply.Error)
+	default:
+		return "", fmt.Errorf("protocol: unexpected reply %s", reply.Type)
+	}
+}
+
+// AP returns the station's current assignment ("" before Associate).
+func (s *Station) AP() trace.APID { return s.ap }
+
+// SendTraffic reports served bytes on the station's current AP.
+func (s *Station) SendTraffic(bytes int64) error {
+	if s.ap == "" {
+		return errors.New("protocol: station not associated")
+	}
+	return s.conn.Send(Message{Type: MsgTraffic, AP: string(s.ap), Bytes: bytes})
+}
+
+// Disassociate announces departure; the connection stays open so the
+// station can re-associate later.
+func (s *Station) Disassociate() error {
+	if s.ap == "" {
+		return nil
+	}
+	s.ap = ""
+	return s.conn.Send(Message{Type: MsgDisassoc, User: string(s.user)})
+}
+
+// Close disconnects the station (an implicit disassociation server-side).
+func (s *Station) Close() error { return s.conn.Close() }

@@ -1,0 +1,452 @@
+package protocol
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+	"github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+// apEntry is the controller's live view of one registered AP.
+type apEntry struct {
+	id          trace.APID
+	capacityBps float64
+	reportedBps float64
+	users       map[trace.UserID]float64 // user -> believed demand
+}
+
+// AssociationObserver receives association lifecycle events — e.g. a
+// society.OnlineLearner learning sociality continuously from the live
+// controller, the paper's future-work deployment mode.
+type AssociationObserver interface {
+	// Connect fires after a user is associated with an AP.
+	Connect(u trace.UserID, ap trace.APID, ts int64)
+	// Disconnect fires after a user leaves an AP. Implementations must
+	// tolerate out-of-order or unknown users (the controller retries
+	// nothing).
+	Disconnect(u trace.UserID, ap trace.APID, ts int64) error
+}
+
+// Controller is the prototype WLAN controller: a TCP server that
+// registers AP agents, receives their load reports, and answers stations'
+// association requests by running the configured policy.
+type Controller struct {
+	selector wlan.Selector
+	logger   *log.Logger
+	timeout  time.Duration
+	observer AssociationObserver
+	now      func() int64
+
+	mu          sync.Mutex
+	aps         map[trace.APID]*apEntry
+	assignments map[trace.UserID]trace.APID
+	assignedAt  map[trace.UserID]int64
+	servedByUsr map[trace.UserID]int64
+	served      map[trace.APID]int64 // bytes reported by stations
+	sessionLog  *json.Encoder
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// ControllerOption customizes a Controller.
+type ControllerOption func(*Controller)
+
+// WithLogger routes controller diagnostics to logger (default: discard).
+func WithLogger(logger *log.Logger) ControllerOption {
+	return func(c *Controller) { c.logger = logger }
+}
+
+// WithTimeout bounds each peer read/write (default 30s).
+func WithTimeout(d time.Duration) ControllerOption {
+	return func(c *Controller) { c.timeout = d }
+}
+
+// WithObserver attaches an association observer (e.g. an online
+// sociality learner).
+func WithObserver(o AssociationObserver) ControllerOption {
+	return func(c *Controller) { c.observer = o }
+}
+
+// WithClock overrides the controller's time source (tests).
+func WithClock(now func() int64) ControllerOption {
+	return func(c *Controller) { c.now = now }
+}
+
+// WithSessionLog makes the controller record every completed association
+// as a trace.Session JSON document on w — the "back-end data center"
+// login log the paper's measurement study is built from. The emitted
+// lines parse with trace.ReadJSONLines/trace.Stream when wrapped as
+// {"kind":"session","session":…}, which is exactly what is written.
+func WithSessionLog(w io.Writer) ControllerOption {
+	return func(c *Controller) { c.sessionLog = json.NewEncoder(w) }
+}
+
+// NewController builds a controller around an association policy.
+func NewController(selector wlan.Selector, opts ...ControllerOption) (*Controller, error) {
+	if selector == nil {
+		return nil, errors.New("protocol: nil selector")
+	}
+	c := &Controller{
+		selector:    selector,
+		logger:      log.New(io.Discard, "", 0),
+		timeout:     30 * time.Second,
+		now:         func() int64 { return time.Now().Unix() },
+		aps:         make(map[trace.APID]*apEntry),
+		assignments: make(map[trace.UserID]trace.APID),
+		assignedAt:  make(map[trace.UserID]int64),
+		servedByUsr: make(map[trace.UserID]int64),
+		served:      make(map[trace.APID]int64),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// RegisterAP adds an AP directly (without an agent connection). Useful for
+// static topologies and tests.
+func (c *Controller) RegisterAP(id trace.APID, capacityBps float64) error {
+	if id == "" {
+		return errors.New("protocol: empty AP id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.aps[id]; dup {
+		return fmt.Errorf("protocol: AP %q already registered", id)
+	}
+	c.aps[id] = &apEntry{
+		id:          id,
+		capacityBps: capacityBps,
+		users:       make(map[trace.UserID]float64),
+	}
+	return nil
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the bound
+// address. Serve loops run in background goroutines until Close.
+func (c *Controller) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("protocol: listen: %w", err)
+	}
+	c.mu.Lock()
+	c.listener = ln
+	c.closed = false
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (c *Controller) acceptLoop(ln net.Listener) {
+	defer c.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			c.logger.Printf("accept: %v", err)
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handle(NewConn(conn, c.timeout))
+		}()
+	}
+}
+
+// Close stops the listener and waits for peer goroutines to finish.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	ln := c.listener
+	c.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// handle runs one peer session.
+func (c *Controller) handle(conn *Conn) {
+	defer conn.Close()
+	hello, err := conn.Receive()
+	if err != nil {
+		c.logger.Printf("peer hello: %v", err)
+		return
+	}
+	if hello.Type != MsgHello {
+		c.replyError(conn, fmt.Sprintf("expected hello, got %s", hello.Type))
+		return
+	}
+	switch hello.Role {
+	case RoleAP:
+		c.handleAP(conn, hello)
+	case RoleStation:
+		c.handleStation(conn, hello)
+	default:
+		c.replyError(conn, fmt.Sprintf("unknown role %q", hello.Role))
+	}
+}
+
+func (c *Controller) replyError(conn *Conn, msg string) {
+	if err := conn.Send(Message{Type: MsgError, Error: msg}); err != nil {
+		c.logger.Printf("reply error: %v", err)
+	}
+}
+
+// handleAP registers an AP agent and consumes its load reports.
+func (c *Controller) handleAP(conn *Conn, hello Message) {
+	id := trace.APID(hello.ID)
+	if err := c.RegisterAP(id, hello.CapacityBps); err != nil {
+		c.replyError(conn, err.Error())
+		return
+	}
+	if err := conn.Send(Message{Type: MsgHelloOK, ID: hello.ID}); err != nil {
+		c.logger.Printf("ap %s: %v", id, err)
+		return
+	}
+	c.logger.Printf("ap %s registered (capacity %.0f B/s)", id, hello.CapacityBps)
+	for {
+		m, err := conn.Receive()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				c.logger.Printf("ap %s: %v", id, err)
+			}
+			return
+		}
+		if m.Type != MsgReport {
+			c.replyError(conn, fmt.Sprintf("unexpected %s from AP", m.Type))
+			return
+		}
+		c.mu.Lock()
+		if entry, ok := c.aps[id]; ok {
+			entry.reportedBps = m.LoadBps
+		}
+		c.mu.Unlock()
+	}
+}
+
+// handleStation serves one station's association lifecycle.
+func (c *Controller) handleStation(conn *Conn, hello Message) {
+	user := trace.UserID(hello.ID)
+	if user == "" {
+		c.replyError(conn, "station hello without id")
+		return
+	}
+	if err := conn.Send(Message{Type: MsgHelloOK, ID: hello.ID}); err != nil {
+		return
+	}
+	for {
+		m, err := conn.Receive()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				c.logger.Printf("station %s: %v", user, err)
+			}
+			c.disassociate(user)
+			return
+		}
+		switch m.Type {
+		case MsgAssoc:
+			ap, err := c.Associate(user, m.DemandBps)
+			if err != nil {
+				c.replyError(conn, err.Error())
+				continue
+			}
+			if err := conn.Send(Message{Type: MsgAssign, User: string(user), AP: string(ap)}); err != nil {
+				c.disassociate(user)
+				return
+			}
+		case MsgTraffic:
+			c.mu.Lock()
+			c.served[trace.APID(m.AP)] += m.Bytes
+			c.servedByUsr[user] += m.Bytes
+			c.mu.Unlock()
+		case MsgDisassoc:
+			c.disassociate(user)
+		default:
+			c.replyError(conn, fmt.Sprintf("unexpected %s from station", m.Type))
+		}
+	}
+}
+
+// Associate runs the policy for one user and records the assignment.
+func (c *Controller) Associate(user trace.UserID, demandBps float64) (trace.APID, error) {
+	c.mu.Lock()
+	ts := c.now()
+	if len(c.aps) == 0 {
+		c.mu.Unlock()
+		return "", errors.New("protocol: no APs registered")
+	}
+	views := c.viewsLocked()
+	ap, err := c.selector.Select(wlan.Request{
+		User:      user,
+		At:        ts,
+		DemandBps: demandBps,
+	}, views)
+	if err != nil {
+		c.mu.Unlock()
+		return "", fmt.Errorf("protocol: policy: %w", err)
+	}
+	entry, ok := c.aps[ap]
+	if !ok {
+		c.mu.Unlock()
+		return "", fmt.Errorf("protocol: policy chose unknown AP %q", ap)
+	}
+	// Re-associating moves the user (a fresh request supersedes).
+	var prevAP trace.APID
+	hadPrev := false
+	if prev, ok := c.assignments[user]; ok {
+		if prevEntry, ok := c.aps[prev]; ok {
+			delete(prevEntry.users, user)
+		}
+		prevAP, hadPrev = prev, true
+	}
+	entry.users[user] = demandBps
+	c.assignments[user] = ap
+	c.assignedAt[user] = ts
+	c.servedByUsr[user] = 0
+	c.logger.Printf("assoc %s -> %s (demand %.0f B/s)", user, ap, demandBps)
+	obs := c.observer
+	c.mu.Unlock()
+
+	// Notify outside the lock: observers may be slow.
+	if obs != nil {
+		if hadPrev {
+			if err := obs.Disconnect(user, prevAP, ts); err != nil {
+				c.logger.Printf("observer disconnect %s: %v", user, err)
+			}
+		}
+		obs.Connect(user, ap, ts)
+	}
+	return ap, nil
+}
+
+func (c *Controller) disassociate(user trace.UserID) {
+	c.mu.Lock()
+	ts := c.now()
+	ap, ok := c.assignments[user]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.assignments, user)
+	if entry, ok := c.aps[ap]; ok {
+		delete(entry.users, user)
+	}
+	c.logger.Printf("disassoc %s from %s", user, ap)
+	if c.sessionLog != nil {
+		rec := struct {
+			Kind    string        `json:"kind"`
+			Session trace.Session `json:"session"`
+		}{
+			Kind: "session",
+			Session: trace.Session{
+				User:         user,
+				AP:           ap,
+				ConnectAt:    c.assignedAt[user],
+				DisconnectAt: ts,
+				Bytes:        c.servedByUsr[user],
+			},
+		}
+		if err := c.sessionLog.Encode(rec); err != nil {
+			c.logger.Printf("session log: %v", err)
+		}
+	}
+	delete(c.assignedAt, user)
+	delete(c.servedByUsr, user)
+	obs := c.observer
+	c.mu.Unlock()
+
+	if obs != nil {
+		if err := obs.Disconnect(user, ap, ts); err != nil {
+			c.logger.Printf("observer disconnect %s: %v", user, err)
+		}
+	}
+}
+
+// viewsLocked snapshots AP state for the policy. Load is the max of the
+// agent-reported load and the sum of believed demands, so a silent agent
+// still yields sane decisions.
+func (c *Controller) viewsLocked() []wlan.APView {
+	ids := make([]trace.APID, 0, len(c.aps))
+	for id := range c.aps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	views := make([]wlan.APView, 0, len(ids))
+	for _, id := range ids {
+		entry := c.aps[id]
+		users := make([]trace.UserID, 0, len(entry.users))
+		for u := range entry.users {
+			users = append(users, u)
+		}
+		sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+		demands := make([]float64, len(users))
+		var believed float64
+		for i, u := range users {
+			demands[i] = entry.users[u]
+			believed += demands[i]
+		}
+		load := entry.reportedBps
+		if believed > load {
+			load = believed
+		}
+		views = append(views, wlan.APView{
+			ID:          id,
+			CapacityBps: entry.capacityBps,
+			LoadBps:     load,
+			Users:       users,
+			UserDemands: demands,
+			RSSI:        -50,
+		})
+	}
+	return views
+}
+
+// Snapshot reports the controller's current state for inspection: per-AP
+// associated users and served volume.
+func (c *Controller) Snapshot() map[trace.APID]APStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[trace.APID]APStatus, len(c.aps))
+	for id, entry := range c.aps {
+		users := make([]trace.UserID, 0, len(entry.users))
+		for u := range entry.users {
+			users = append(users, u)
+		}
+		sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+		out[id] = APStatus{
+			CapacityBps: entry.capacityBps,
+			ReportedBps: entry.reportedBps,
+			Users:       users,
+			ServedBytes: c.served[id],
+		}
+	}
+	return out
+}
+
+// APStatus is one AP's externally visible state.
+type APStatus struct {
+	CapacityBps float64
+	ReportedBps float64
+	Users       []trace.UserID
+	ServedBytes int64
+}

@@ -1,0 +1,129 @@
+// Package protocol implements the S³ prototype the paper validates its
+// design with: a WLAN controller as a TCP server speaking a JSON-lines
+// wire protocol, AP agents that register and report load, and stations
+// that request association. The controller runs any wlan.Selector — the
+// S³ policy or a baseline — live, making association decisions exactly as
+// the simulator does but over real sockets.
+package protocol
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// MsgType enumerates wire message types.
+type MsgType string
+
+// Wire message types.
+const (
+	// MsgHello registers a peer (AP agent or station) after connecting.
+	MsgHello MsgType = "hello"
+	// MsgHelloOK acknowledges registration.
+	MsgHelloOK MsgType = "hello_ok"
+	// MsgReport carries an AP agent's periodic load report.
+	MsgReport MsgType = "report"
+	// MsgAssoc is a station's association request.
+	MsgAssoc MsgType = "assoc"
+	// MsgAssign is the controller's association decision.
+	MsgAssign MsgType = "assign"
+	// MsgTraffic is a station's served-traffic notification.
+	MsgTraffic MsgType = "traffic"
+	// MsgDisassoc is a station's departure notification.
+	MsgDisassoc MsgType = "disassoc"
+	// MsgError reports a protocol or policy failure.
+	MsgError MsgType = "error"
+)
+
+// Role identifies the peer kind in a hello.
+type Role string
+
+// Peer roles.
+const (
+	RoleAP      Role = "ap"
+	RoleStation Role = "station"
+)
+
+// Message is the single wire frame. Fields are used depending on Type;
+// unused fields are omitted from the encoding.
+type Message struct {
+	Type MsgType `json:"type"`
+	// Role and ID identify the peer in a hello.
+	Role Role   `json:"role,omitempty"`
+	ID   string `json:"id,omitempty"`
+	// CapacityBps is the AP's bandwidth in a hello (role=ap).
+	CapacityBps float64 `json:"capacity_bps,omitempty"`
+	// LoadBps is the measured load in a report.
+	LoadBps float64 `json:"load_bps,omitempty"`
+	// User and DemandBps describe an association request.
+	User      string  `json:"user,omitempty"`
+	DemandBps float64 `json:"demand_bps,omitempty"`
+	// AP is the assigned AP in an assign, or the reporting AP.
+	AP string `json:"ap,omitempty"`
+	// Bytes is the served volume in a traffic message.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Error carries the failure description in an error message.
+	Error string `json:"error,omitempty"`
+}
+
+// Conn wraps a net.Conn with JSON-lines framing and I/O deadlines.
+type Conn struct {
+	raw     net.Conn
+	enc     *json.Encoder
+	scanner *bufio.Scanner
+	timeout time.Duration
+}
+
+// NewConn wraps raw. timeout bounds each read/write (0 = no deadline).
+func NewConn(raw net.Conn, timeout time.Duration) *Conn {
+	sc := bufio.NewScanner(raw)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &Conn{
+		raw:     raw,
+		enc:     json.NewEncoder(raw),
+		scanner: sc,
+		timeout: timeout,
+	}
+}
+
+// Send writes one message.
+func (c *Conn) Send(m Message) error {
+	if c.timeout > 0 {
+		if err := c.raw.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+			return fmt.Errorf("protocol: set write deadline: %w", err)
+		}
+	}
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("protocol: send %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Receive reads one message. io.EOF is returned verbatim on clean close.
+func (c *Conn) Receive() (Message, error) {
+	if c.timeout > 0 {
+		if err := c.raw.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return Message{}, fmt.Errorf("protocol: set read deadline: %w", err)
+		}
+	}
+	if !c.scanner.Scan() {
+		if err := c.scanner.Err(); err != nil {
+			return Message{}, fmt.Errorf("protocol: receive: %w", err)
+		}
+		return Message{}, io.EOF
+	}
+	var m Message
+	if err := json.Unmarshal(c.scanner.Bytes(), &m); err != nil {
+		return Message{}, fmt.Errorf("protocol: decode: %w", err)
+	}
+	if m.Type == "" {
+		return Message{}, fmt.Errorf("protocol: message without type")
+	}
+	return m, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }

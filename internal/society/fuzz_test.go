@@ -1,0 +1,24 @@
+package society
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadModel hardens model deserialization: no panics, and accepted
+// models must be usable (Index never panics).
+func FuzzReadModel(f *testing.F) {
+	f.Add(`{"version":1,"alpha":0.3,"pair_prob":{"a|b":0.8}}`)
+	f.Add(`{"version":1}`)
+	f.Add(`{"version":99}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadModel(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		_ = m.Index("a", "b")
+		_ = m.K()
+		_ = m.TopPairs(3)
+	})
+}

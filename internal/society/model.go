@@ -1,0 +1,270 @@
+package society
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/s3wlan/s3wlan/internal/apps"
+	"github.com/s3wlan/s3wlan/internal/cluster"
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// Config holds the sociality-learning parameters studied in the paper's
+// evaluation (Figs. 10 and 11).
+type Config struct {
+	// CoLeaveWindowSeconds is the co-leaving extraction interval. The
+	// paper sweeps 1–20 minutes and finds 5 minutes optimal.
+	CoLeaveWindowSeconds int64
+	// MinEncounterSeconds is the overlap needed for an encounter event.
+	MinEncounterSeconds int64
+	// MinEncounters is the support threshold below which a pair's P(L|E)
+	// estimate is considered noise ("fake social relationships") and
+	// dropped.
+	MinEncounters int
+	// Alpha weighs the type-matrix term: θ = P(L|E) + α·T. The paper
+	// sweeps {0.1, 0.3, 0.5} and settles on 0.3.
+	Alpha float64
+	// HistoryDays limits how much training history is used (0 = all).
+	// The paper finds ~15 days sufficient.
+	HistoryDays int
+	// NumTypes is the number of application-usage clusters (the paper
+	// selects 4 via the gap statistic). Set 0 to auto-select with the
+	// gap statistic.
+	NumTypes int
+	// TemporalWeight, when positive, appends each user's time-of-day
+	// activity signature (scaled by this weight) to the clustering
+	// features — the paper's future-work extension of the usage profile.
+	// Requires profiles built with AttachTemporalSignatures.
+	TemporalWeight float64
+	// Seed drives clustering randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's chosen operating point: five-minute
+// co-leave window, α = 0.3, 15 days of history, k = 4 types.
+func DefaultConfig() Config {
+	return Config{
+		CoLeaveWindowSeconds: 300,
+		MinEncounterSeconds:  600,
+		MinEncounters:        2,
+		Alpha:                0.3,
+		HistoryDays:          15,
+		NumTypes:             4,
+		Seed:                 1,
+	}
+}
+
+// Model is a trained sociality model: per-pair conditional co-leaving
+// probabilities, per-user types, and the type-pair co-leave matrix.
+type Model struct {
+	// PairProb maps a pair to P(L(u,v) | E(u,v)).
+	PairProb map[Pair]float64
+	// Encounters holds the raw per-pair encounter counts (support).
+	Encounters map[Pair]int
+	// CoLeaves holds the raw per-pair co-leave counts.
+	CoLeaves map[Pair]int
+	// Types maps each known user to a cluster label in [0, K).
+	Types map[trace.UserID]int
+	// TypeMatrix[i][j] is T(type_i, type_j), the mean co-leave
+	// probability between members of the two types.
+	TypeMatrix [][]float64
+	// Centroids are the application-profile centroids per type.
+	Centroids [][]float64
+	// Alpha is the θ mixing coefficient.
+	Alpha float64
+}
+
+// K returns the number of types.
+func (m *Model) K() int { return len(m.TypeMatrix) }
+
+// Index returns the social relation index θ(u,v) = P(L|E) + α·T. For
+// pairs with no encounter history the first term is 0 and only the
+// type-matrix prior applies, exactly as the paper prescribes for users
+// who "have not encountered each other before". Unknown users (no
+// profile) contribute no type prior.
+func (m *Model) Index(u, v trace.UserID) float64 {
+	if u == v {
+		return 0
+	}
+	theta := m.PairProb[MakePair(u, v)]
+	tu, okU := m.Types[u]
+	tv, okV := m.Types[v]
+	if okU && okV && tu < len(m.TypeMatrix) && tv < len(m.TypeMatrix) {
+		theta += m.Alpha * m.TypeMatrix[tu][tv]
+	}
+	return theta
+}
+
+// Errors returned by Train.
+var (
+	ErrNoSessions = errors.New("society: no training sessions")
+	ErrNoProfiles = errors.New("society: no user profiles to cluster")
+)
+
+// Train learns a sociality model from a training trace. profiles provides
+// the per-user application profiles (built from the same training period's
+// flows). The training window is truncated to cfg.HistoryDays when set.
+func Train(tr *trace.Trace, profiles *apps.ProfileStore, cfg Config) (*Model, error) {
+	if len(tr.Sessions) == 0 {
+		return nil, ErrNoSessions
+	}
+	sessions := tr.Sessions
+	if cfg.HistoryDays > 0 {
+		_, end := tr.TimeRange()
+		cut := end - int64(cfg.HistoryDays)*86400
+		trimmed := make([]trace.Session, 0, len(sessions))
+		for _, s := range sessions {
+			if s.ConnectAt >= cut {
+				trimmed = append(trimmed, s)
+			}
+		}
+		sessions = trimmed
+		if len(sessions) == 0 {
+			return nil, fmt.Errorf("%w after truncating to %d history days",
+				ErrNoSessions, cfg.HistoryDays)
+		}
+	}
+
+	encounters := ExtractEncounters(sessions, cfg.MinEncounterSeconds)
+	coLeaves := countCoLeaves(sessions, cfg.CoLeaveWindowSeconds)
+
+	pairProb := make(map[Pair]float64, len(encounters))
+	for p, e := range encounters {
+		if e < cfg.MinEncounters {
+			continue // insufficient support; treat as noise
+		}
+		c := coLeaves[p]
+		prob := float64(c) / float64(e)
+		if prob > 1 {
+			// More co-leavings than qualifying encounters can happen when
+			// short overlaps don't clear MinEncounterSeconds; clamp.
+			prob = 1
+		}
+		pairProb[p] = prob
+	}
+
+	types, centroids, err := clusterUsers(profiles, cfg)
+	if err != nil {
+		return nil, err
+	}
+	matrix := BuildTypeMatrix(encounters, coLeaves, types, len(centroids))
+
+	return &Model{
+		PairProb:   pairProb,
+		Encounters: encounters,
+		CoLeaves:   coLeaves,
+		Types:      types,
+		TypeMatrix: matrix,
+		Centroids:  centroids,
+		Alpha:      cfg.Alpha,
+	}, nil
+}
+
+func countCoLeaves(sessions []trace.Session, window int64) map[Pair]int {
+	out := make(map[Pair]int)
+	for _, ev := range ExtractCoLeavings(sessions, window) {
+		out[ev.Pair]++
+	}
+	return out
+}
+
+// clusterUsers k-means-clusters the users' mean normalized application
+// profiles. When cfg.NumTypes is 0 the gap statistic picks k.
+func clusterUsers(profiles *apps.ProfileStore, cfg Config) (map[trace.UserID]int, [][]float64, error) {
+	if profiles == nil {
+		return nil, nil, ErrNoProfiles
+	}
+	users := profiles.Users()
+	var ids []trace.UserID
+	var points [][]float64
+	for _, u := range users {
+		vec, ok := profiles.ExtendedFeature(u, cfg.TemporalWeight)
+		if !ok {
+			continue
+		}
+		ids = append(ids, u)
+		points = append(points, vec)
+	}
+	if len(points) == 0 {
+		return nil, nil, ErrNoProfiles
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	k := cfg.NumTypes
+	if k <= 0 {
+		gap, err := cluster.GapStatistic(points, rng, cluster.GapConfig{MaxK: 8})
+		if err != nil {
+			return nil, nil, fmt.Errorf("society: gap statistic: %w", err)
+		}
+		k = gap.OptimalK
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	res, err := cluster.KMeans(points, k, rng, cluster.Config{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("society: clustering: %w", err)
+	}
+	types := make(map[trace.UserID]int, len(ids))
+	for i, u := range ids {
+		types[u] = res.Labels[i]
+	}
+	return types, res.Centroids, nil
+}
+
+// BuildTypeMatrix estimates T(type_i, type_j): the mean co-leave
+// probability over encountered pairs whose members belong to the two
+// types. Cells with no supporting pairs are 0.
+func BuildTypeMatrix(encounters, coLeaves map[Pair]int,
+	types map[trace.UserID]int, k int) [][]float64 {
+	sums := make([][]float64, k)
+	counts := make([][]int, k)
+	for i := range sums {
+		sums[i] = make([]float64, k)
+		counts[i] = make([]int, k)
+	}
+	// Deterministic iteration for reproducible float accumulation.
+	pairs := make([]Pair, 0, len(encounters))
+	for p := range encounters {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	for _, p := range pairs {
+		e := encounters[p]
+		if e == 0 {
+			continue
+		}
+		ta, okA := types[p.A]
+		tb, okB := types[p.B]
+		if !okA || !okB || ta >= k || tb >= k {
+			continue
+		}
+		prob := float64(coLeaves[p]) / float64(e)
+		if prob > 1 {
+			prob = 1
+		}
+		sums[ta][tb] += prob
+		counts[ta][tb]++
+		if ta != tb {
+			sums[tb][ta] += prob
+			counts[tb][ta]++
+		}
+	}
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = make([]float64, k)
+		for j := range out[i] {
+			if counts[i][j] > 0 {
+				out[i][j] = sums[i][j] / float64(counts[i][j])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package society
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// OnlineLearner maintains sociality statistics incrementally as sessions
+// complete, for a controller that learns continuously instead of
+// re-training from a batch trace — the paper's future-work item of
+// running S³ live in the campus WLAN. It is safe for concurrent use.
+//
+// The learner tracks, per AP, the currently open sessions and the recent
+// leavings; each session end is matched against (a) overlapping open
+// sessions to count encounters and (b) recent leavings within the
+// co-leave window to count co-leavings. A trained type assignment
+// (from a batch Model or analysis.Fig8) can be attached for the α·T term.
+type OnlineLearner struct {
+	cfg Config
+
+	mu         sync.Mutex
+	open       map[trace.APID]map[trace.UserID][]int64 // user -> open connect times
+	recentEnds map[trace.APID][]LeaveEvent
+	encounters map[Pair]int
+	coLeaves   map[Pair]int
+	types      map[trace.UserID]int
+	typeMatrix [][]float64
+}
+
+// NewOnlineLearner builds an empty incremental learner.
+func NewOnlineLearner(cfg Config) *OnlineLearner {
+	return &OnlineLearner{
+		cfg:        cfg,
+		open:       make(map[trace.APID]map[trace.UserID][]int64),
+		recentEnds: make(map[trace.APID][]LeaveEvent),
+		encounters: make(map[Pair]int),
+		coLeaves:   make(map[Pair]int),
+	}
+}
+
+// SetTypes attaches a type assignment and matrix for the α·T prior
+// (usually from a periodically re-run batch clustering).
+func (l *OnlineLearner) SetTypes(types map[trace.UserID]int, matrix [][]float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.types = make(map[trace.UserID]int, len(types))
+	for u, t := range types {
+		l.types[u] = t
+	}
+	l.typeMatrix = make([][]float64, len(matrix))
+	for i, row := range matrix {
+		l.typeMatrix[i] = append([]float64(nil), row...)
+	}
+}
+
+// Errors returned by the event methods.
+var (
+	ErrNotConnected = errors.New("society: user not connected on that AP")
+	ErrTimeWentBack = errors.New("society: event time before connect time")
+)
+
+// Connect records a user associating with an AP at time ts. Overlapping
+// sessions of the same user on the same AP are tracked independently.
+func (l *OnlineLearner) Connect(u trace.UserID, ap trace.APID, ts int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	users := l.open[ap]
+	if users == nil {
+		users = make(map[trace.UserID][]int64)
+		l.open[ap] = users
+	}
+	users[u] = append(users[u], ts)
+}
+
+// Disconnect records a user leaving an AP at time ts, updating encounter
+// and co-leaving statistics.
+func (l *OnlineLearner) Disconnect(u trace.UserID, ap trace.APID, ts int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	users := l.open[ap]
+	stack := users[u]
+	if len(stack) == 0 {
+		return ErrNotConnected
+	}
+	connectedAt := stack[0] // close the oldest open session
+	if ts < connectedAt {
+		return ErrTimeWentBack
+	}
+	if len(stack) == 1 {
+		delete(users, u)
+	} else {
+		users[u] = stack[1:]
+	}
+
+	// Encounters: overlap with every still-open session on this AP plus
+	// closing-vs-closed handled when the other side closes.
+	ids := make([]trace.UserID, 0, len(users))
+	for w := range users {
+		ids = append(ids, w)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, w := range ids {
+		if w == u {
+			continue // the user's own remaining sessions
+		}
+		// Earliest open session of w gives the longest overlap.
+		wStart := users[w][0]
+		overlapStart := connectedAt
+		if wStart > overlapStart {
+			overlapStart = wStart
+		}
+		if ts-overlapStart >= l.cfg.MinEncounterSeconds {
+			l.encounters[MakePair(u, w)]++
+		}
+	}
+
+	// Co-leavings: recent leavings on the same AP within the window.
+	window := l.cfg.CoLeaveWindowSeconds
+	recent := l.recentEnds[ap]
+	kept := recent[:0]
+	for _, ev := range recent {
+		if ts-ev.At > window {
+			continue // expired
+		}
+		kept = append(kept, ev)
+		if ev.User != u {
+			l.coLeaves[MakePair(u, ev.User)]++
+		}
+	}
+	l.recentEnds[ap] = append(kept, LeaveEvent{User: u, AP: ap, At: ts})
+	return nil
+}
+
+// Model snapshots the current statistics into an immutable Model usable
+// by the S³ selector.
+func (l *OnlineLearner) Model() *Model {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pairProb := make(map[Pair]float64, len(l.encounters))
+	encounters := make(map[Pair]int, len(l.encounters))
+	coLeaves := make(map[Pair]int, len(l.coLeaves))
+	for p, e := range l.encounters {
+		encounters[p] = e
+		if e < l.cfg.MinEncounters {
+			continue
+		}
+		prob := float64(l.coLeaves[p]) / float64(e)
+		if prob > 1 {
+			prob = 1
+		}
+		pairProb[p] = prob
+	}
+	for p, c := range l.coLeaves {
+		coLeaves[p] = c
+	}
+	types := make(map[trace.UserID]int, len(l.types))
+	for u, t := range l.types {
+		types[u] = t
+	}
+	matrix := make([][]float64, len(l.typeMatrix))
+	for i, row := range l.typeMatrix {
+		matrix[i] = append([]float64(nil), row...)
+	}
+	return &Model{
+		PairProb:   pairProb,
+		Encounters: encounters,
+		CoLeaves:   coLeaves,
+		Types:      types,
+		TypeMatrix: matrix,
+		Alpha:      l.cfg.Alpha,
+	}
+}
+
+// Stats reports the learner's internal tallies (for monitoring).
+func (l *OnlineLearner) Stats() (openSessions, pairsSeen, coLeavePairs int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, users := range l.open {
+		openSessions += len(users)
+	}
+	return openSessions, len(l.encounters), len(l.coLeaves)
+}

@@ -1,0 +1,179 @@
+package society
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+func onlineConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MinEncounters = 1
+	return cfg
+}
+
+func TestOnlineLearnerBasicFlow(t *testing.T) {
+	l := NewOnlineLearner(onlineConfig())
+	// u1 and u2 share ap1 for an hour and leave within a minute.
+	l.Connect("u1", "ap1", 0)
+	l.Connect("u2", "ap1", 100)
+	if err := l.Disconnect("u1", "ap1", 3600); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Disconnect("u2", "ap1", 3660); err != nil {
+		t.Fatal(err)
+	}
+	m := l.Model()
+	p := MakePair("u1", "u2")
+	if m.Encounters[p] != 1 {
+		t.Errorf("encounters = %d, want 1", m.Encounters[p])
+	}
+	if m.CoLeaves[p] != 1 {
+		t.Errorf("co-leaves = %d, want 1", m.CoLeaves[p])
+	}
+	if m.PairProb[p] != 1 {
+		t.Errorf("P(L|E) = %v, want 1", m.PairProb[p])
+	}
+}
+
+func TestOnlineLearnerNoCoLeaveOutsideWindow(t *testing.T) {
+	l := NewOnlineLearner(onlineConfig())
+	l.Connect("u1", "ap1", 0)
+	l.Connect("u2", "ap1", 0)
+	if err := l.Disconnect("u1", "ap1", 3600); err != nil {
+		t.Fatal(err)
+	}
+	// u2 leaves far outside the 5-minute window.
+	if err := l.Disconnect("u2", "ap1", 3600+1200); err != nil {
+		t.Fatal(err)
+	}
+	m := l.Model()
+	p := MakePair("u1", "u2")
+	if m.CoLeaves[p] != 0 {
+		t.Errorf("co-leaves = %d, want 0", m.CoLeaves[p])
+	}
+	if m.Encounters[p] != 1 {
+		t.Errorf("encounters = %d, want 1", m.Encounters[p])
+	}
+	if m.PairProb[p] != 0 {
+		t.Errorf("P(L|E) = %v, want 0", m.PairProb[p])
+	}
+}
+
+func TestOnlineLearnerShortOverlapNoEncounter(t *testing.T) {
+	l := NewOnlineLearner(onlineConfig())
+	l.Connect("u1", "ap1", 0)
+	l.Connect("u2", "ap1", 3500) // only 100s together
+	if err := l.Disconnect("u1", "ap1", 3600); err != nil {
+		t.Fatal(err)
+	}
+	m := l.Model()
+	if m.Encounters[MakePair("u1", "u2")] != 0 {
+		t.Error("100s overlap should not count as encounter")
+	}
+}
+
+func TestOnlineLearnerDifferentAPsIndependent(t *testing.T) {
+	l := NewOnlineLearner(onlineConfig())
+	l.Connect("u1", "ap1", 0)
+	l.Connect("u2", "ap2", 0)
+	if err := l.Disconnect("u1", "ap1", 3600); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Disconnect("u2", "ap2", 3610); err != nil {
+		t.Fatal(err)
+	}
+	m := l.Model()
+	if len(m.CoLeaves) != 0 || len(m.Encounters) != 0 {
+		t.Error("cross-AP events should not correlate")
+	}
+}
+
+func TestOnlineLearnerErrors(t *testing.T) {
+	l := NewOnlineLearner(onlineConfig())
+	if err := l.Disconnect("ghost", "ap1", 10); err == nil {
+		t.Error("disconnect without connect should error")
+	}
+	l.Connect("u1", "ap1", 100)
+	if err := l.Disconnect("u1", "ap1", 50); err == nil {
+		t.Error("time going backwards should error")
+	}
+}
+
+func TestOnlineLearnerTypes(t *testing.T) {
+	l := NewOnlineLearner(onlineConfig())
+	types := map[trace.UserID]int{"u1": 0, "u2": 0}
+	matrix := [][]float64{{0.6}}
+	l.SetTypes(types, matrix)
+	m := l.Model()
+	if m.Types["u1"] != 0 || m.TypeMatrix[0][0] != 0.6 {
+		t.Errorf("types not carried: %+v", m)
+	}
+	// θ with no history = α·T.
+	want := onlineConfig().Alpha * 0.6
+	if got := m.Index("u1", "u2"); got != want {
+		t.Errorf("Index = %v, want %v", got, want)
+	}
+	// Mutating the source maps must not affect the learner.
+	types["u1"] = 99
+	matrix[0][0] = 0
+	m2 := l.Model()
+	if m2.Types["u1"] != 0 || m2.TypeMatrix[0][0] != 0.6 {
+		t.Error("SetTypes should copy its inputs")
+	}
+}
+
+func TestOnlineLearnerSupportThreshold(t *testing.T) {
+	cfg := onlineConfig()
+	cfg.MinEncounters = 2
+	l := NewOnlineLearner(cfg)
+	l.Connect("u1", "ap1", 0)
+	l.Connect("u2", "ap1", 0)
+	if err := l.Disconnect("u1", "ap1", 3600); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Disconnect("u2", "ap1", 3605); err != nil {
+		t.Fatal(err)
+	}
+	m := l.Model()
+	if _, ok := m.PairProb[MakePair("u1", "u2")]; ok {
+		t.Error("single encounter should be below the support threshold")
+	}
+}
+
+func TestOnlineLearnerConcurrency(t *testing.T) {
+	l := NewOnlineLearner(onlineConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			u := trace.UserID(rune('a' + g))
+			for i := 0; i < 50; i++ {
+				ts := int64(i * 1000)
+				l.Connect(u, "ap1", ts)
+				if err := l.Disconnect(u, "ap1", ts+900); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	open, _, _ := l.Stats()
+	if open != 0 {
+		t.Errorf("open sessions = %d, want 0", open)
+	}
+	l.Model() // must not race
+}
+
+func TestOnlineLearnerStats(t *testing.T) {
+	l := NewOnlineLearner(onlineConfig())
+	l.Connect("u1", "ap1", 0)
+	l.Connect("u2", "ap1", 0)
+	open, pairs, co := l.Stats()
+	if open != 2 || pairs != 0 || co != 0 {
+		t.Errorf("Stats = %d, %d, %d", open, pairs, co)
+	}
+}

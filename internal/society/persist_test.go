@@ -1,0 +1,138 @@
+package society
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+func sampleModel() *Model {
+	return &Model{
+		Alpha: 0.3,
+		PairProb: map[Pair]float64{
+			MakePair("u1", "u2"): 0.8,
+			MakePair("u1", "u3"): 0.4,
+		},
+		Encounters: map[Pair]int{
+			MakePair("u1", "u2"): 10,
+			MakePair("u1", "u3"): 5,
+		},
+		CoLeaves: map[Pair]int{
+			MakePair("u1", "u2"): 8,
+			MakePair("u1", "u3"): 2,
+		},
+		Types:      map[trace.UserID]int{"u1": 0, "u2": 0, "u3": 1},
+		TypeMatrix: [][]float64{{0.5, 0.1}, {0.1, 0.6}},
+		Centroids:  [][]float64{{0.5, 0.5, 0, 0, 0, 0}, {0, 0, 0.5, 0.5, 0, 0}},
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	m := sampleModel()
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v", m, got)
+	}
+	// Index works identically after the round trip.
+	if m.Index("u1", "u2") != got.Index("u1", "u2") {
+		t.Error("Index differs after round trip")
+	}
+}
+
+func TestModelFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	m := sampleModel()
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestWriteModelNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, nil); err == nil {
+		t.Error("nil model should error")
+	}
+}
+
+func TestReadModelErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "not json"},
+		{"bad version", `{"version": 99}`},
+		{"bad pair key", `{"version":1,"pair_prob":{"nodelimiter":0.5}}`},
+		{"empty side", `{"version":1,"pair_prob":{"|b":0.5}}`},
+		{"bad encounter key", `{"version":1,"encounters":{"x":3}}`},
+		{"bad coleave key", `{"version":1,"co_leaves":{"y":3}}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadModel(strings.NewReader(tt.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadModelMinimal(t *testing.T) {
+	m, err := ReadModel(strings.NewReader(`{"version":1,"alpha":0.3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Alpha != 0.3 || m.Types == nil {
+		t.Errorf("minimal model = %+v", m)
+	}
+	if got := m.Index("a", "b"); got != 0 {
+		t.Errorf("empty model Index = %v", got)
+	}
+}
+
+func TestTopPairs(t *testing.T) {
+	m := sampleModel()
+	top := m.TopPairs(1)
+	if len(top) != 1 || top[0] != MakePair("u1", "u2") {
+		t.Errorf("TopPairs(1) = %v", top)
+	}
+	all := m.TopPairs(10)
+	if len(all) != 2 {
+		t.Errorf("TopPairs(10) = %v", all)
+	}
+	if m.PairProb[all[0]] < m.PairProb[all[1]] {
+		t.Error("TopPairs not sorted by strength")
+	}
+}
+
+func TestPairKeyWithPipeInID(t *testing.T) {
+	// A user ID containing '|' would be ambiguous; verify the parser
+	// splits on the FIRST pipe and round-trips canonical IDs (hashed IDs
+	// are hex, so this is defensive only).
+	p, err := parsePairKey("a|b|c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.A != "a" || p.B != "b|c" {
+		t.Errorf("parsePairKey = %+v", p)
+	}
+}

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkNMI(b *testing.B) {
+	p := []float64{0.3, 0.1, 0.2, 0.15, 0.05, 0.2}
+	q := []float64{0.2, 0.2, 0.1, 0.25, 0.05, 0.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NMI(p, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCDFQuantile(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := &CDF{}
+	for i := 0; i < 10000; i++ {
+		c.Add(rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Quantile(0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKolmogorovSmirnov(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 2000)
+	ys := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64() + 0.1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KolmogorovSmirnov(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function built from samples.
+// The zero value is an empty CDF to which samples can be added.
+type CDF struct {
+	sorted  []float64
+	dirty   []float64
+	isDirty bool
+}
+
+// NewCDF builds a CDF from the given samples. The input is copied.
+func NewCDF(samples []float64) *CDF {
+	c := &CDF{}
+	c.AddAll(samples)
+	return c
+}
+
+// Add inserts one sample.
+func (c *CDF) Add(x float64) {
+	c.dirty = append(c.dirty, x)
+	c.isDirty = true
+}
+
+// AddAll inserts many samples.
+func (c *CDF) AddAll(xs []float64) {
+	c.dirty = append(c.dirty, xs...)
+	c.isDirty = true
+}
+
+// Len reports the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) + len(c.dirty) }
+
+func (c *CDF) settle() {
+	if !c.isDirty {
+		return
+	}
+	c.sorted = append(c.sorted, c.dirty...)
+	c.dirty = c.dirty[:0]
+	sort.Float64s(c.sorted)
+	c.isDirty = false
+}
+
+// At returns the empirical CDF evaluated at x: the fraction of samples <= x.
+// An empty CDF evaluates to 0 everywhere.
+func (c *CDF) At(x float64) float64 {
+	c.settle()
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Number of samples <= x.
+	n := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(n) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile of the samples (linear interpolation).
+func (c *CDF) Quantile(q float64) (float64, error) {
+	c.settle()
+	if len(c.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of range", q)
+	}
+	return quantileSorted(c.sorted, q), nil
+}
+
+// Points returns up to n evenly spaced (x, F(x)) points suitable for
+// plotting the CDF curve. Fewer points are returned when there are fewer
+// samples. Points are returned in ascending x order.
+func (c *CDF) Points(n int) []Point {
+	c.settle()
+	m := len(c.sorted)
+	if m == 0 || n <= 0 {
+		return nil
+	}
+	if n > m {
+		n = m
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		// Sample indices spread across the sorted data, always
+		// including the last sample so the curve reaches 1.0.
+		idx := (i + 1) * m / n
+		if idx > m {
+			idx = m
+		}
+		x := c.sorted[idx-1]
+		pts = append(pts, Point{X: x, Y: float64(idx) / float64(m)})
+	}
+	return pts
+}
+
+// Point is a single (x, y) pair on a curve.
+type Point struct {
+	X, Y float64
+}
+
+// String renders a compact textual table of the CDF, for harness output.
+func (c *CDF) String() string {
+	var sb strings.Builder
+	for _, p := range c.Points(10) {
+		fmt.Fprintf(&sb, "%8.4f -> %5.3f\n", p.X, p.Y)
+	}
+	return sb.String()
+}
+
+// Welford is an online mean/variance accumulator (Welford's algorithm).
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the running unbiased sample variance.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Merge folds another accumulator into this one (parallel Welford).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	mean := w.mean + delta*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n, w.mean, w.m2 = n, mean, m2
+}
+
+// Histogram counts samples into equal-width bins over [lo, hi). Samples
+// outside the range are clamped into the first/last bin so totals are
+// preserved.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given number of bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo, which indicates programmer
+// error rather than data error.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add inserts a sample.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(bins))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bins {
+		idx = bins - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of samples added.
+func (h *Histogram) Total() int { return h.total }
+
+// Fractions returns each bin's share of the total (empty histogram yields
+// all zeros).
+func (h *Histogram) Fractions() []float64 {
+	fr := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return fr
+	}
+	for i, c := range h.Counts {
+		fr[i] = float64(c) / float64(h.total)
+	}
+	return fr
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	res, err := KolmogorovSmirnov(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 0 {
+		t.Errorf("D = %v, want 0 for identical samples", res.Statistic)
+	}
+	if res.PValue < 0.99 {
+		t.Errorf("p = %v, want ≈1", res.PValue)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64() + 10
+	}
+	res, err := KolmogorovSmirnov(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 1 {
+		t.Errorf("D = %v, want 1 for disjoint samples", res.Statistic)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("p = %v, want ≈0", res.PValue)
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 300)
+	ys := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	res, err := KolmogorovSmirnov(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.01 {
+		t.Errorf("p = %v for same distribution; should rarely reject", res.PValue)
+	}
+}
+
+func TestKSShiftedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 300)
+	ys := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64() + 1.0
+	}
+	res, err := KolmogorovSmirnov(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-4 {
+		t.Errorf("p = %v, shifted distributions should be detected", res.PValue)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err == nil {
+		t.Error("empty xs should error")
+	}
+	if _, err := KolmogorovSmirnov([]float64{1}, nil); err == nil {
+		t.Error("empty ys should error")
+	}
+}
+
+func TestKolmogorovQBounds(t *testing.T) {
+	if q := kolmogorovQ(0); q != 1 {
+		t.Errorf("Q(0) = %v, want 1", q)
+	}
+	if q := kolmogorovQ(10); q > 1e-12 {
+		t.Errorf("Q(10) = %v, want ≈0", q)
+	}
+	// Known value: Q(1.36) ≈ 0.049 (the classic 5% critical point).
+	if q := kolmogorovQ(1.36); q < 0.04 || q > 0.06 {
+		t.Errorf("Q(1.36) = %v, want ≈0.049", q)
+	}
+}

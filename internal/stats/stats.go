@@ -1,0 +1,247 @@
+// Package stats provides the statistical primitives used throughout the S³
+// reproduction: descriptive statistics, empirical CDFs, entropy and mutual
+// information over categorical distributions, correlation measures, and
+// online accumulators.
+//
+// All functions operate on float64 slices and are deterministic. Inputs are
+// never mutated unless the function name says so (e.g. SortInPlace).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Sum returns the sum of xs using Kahan compensated summation so that long
+// time-series accumulations (multi-week traces) do not drift.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Variance returns the population variance of xs (dividing by n, not n-1).
+// It returns 0 for fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance of xs (dividing by
+// n-1). It returns 0 for fewer than two samples.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return Variance(xs) * float64(len(xs)) / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// SampleStdDev returns the sample standard deviation of xs.
+func SampleStdDev(xs []float64) float64 { return math.Sqrt(SampleVariance(xs)) }
+
+// Min returns the minimum of xs. It returns an error for an empty slice.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs. It returns an error for an empty slice.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// It returns an error for an empty slice or q outside [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the median of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// MeanCI returns the mean of xs together with the half-width of its
+// confidence interval at the given confidence level (e.g. 0.95), using the
+// normal approximation. For fewer than two samples the half-width is 0.
+func MeanCI(xs []float64, level float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	z := NormalQuantile(0.5 + level/2)
+	halfWidth = z * SampleStdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, halfWidth
+}
+
+// NormalQuantile returns the p-quantile of the standard normal distribution
+// using the Acklam rational approximation (relative error < 1.15e-9).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the Acklam approximation.
+	a := [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01,
+	}
+	c := [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00,
+	}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > pHigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// PearsonCorrelation returns the Pearson correlation coefficient between xs
+// and ys. It returns an error if the lengths differ or fewer than two
+// samples are supplied; it returns 0 if either series is constant.
+func PearsonCorrelation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// SpearmanCorrelation returns the Spearman rank correlation between xs and
+// ys (Pearson correlation of the rank transforms, with mid-ranks for ties).
+func SpearmanCorrelation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	return PearsonCorrelation(Ranks(xs), Ranks(ys))
+}
+
+// Ranks returns the mid-rank transform of xs: equal values receive the mean
+// of the ranks they span. Ranks are 1-based.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Mid-rank over the tie run [i, j].
+		mid := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return ranks
+}

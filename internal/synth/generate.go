@@ -1,0 +1,552 @@
+package synth
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/s3wlan/s3wlan/internal/apps"
+	"github.com/s3wlan/s3wlan/internal/baseline"
+	"github.com/s3wlan/s3wlan/internal/trace"
+	"github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+// archetypeMixes maps each archetype to its realm mixture (canonical realm
+// order: IM, P2P, music, email, video, web). Rows sum to 1.
+var archetypeMixes = map[Archetype][apps.NumRealms]float64{
+	ArchetypeMessenger:  {0.35, 0.02, 0.10, 0.10, 0.03, 0.40},
+	ArchetypeDownloader: {0.03, 0.50, 0.20, 0.02, 0.10, 0.15},
+	ArchetypeStreamer:   {0.05, 0.03, 0.15, 0.02, 0.55, 0.20},
+	ArchetypeWorker:     {0.10, 0.02, 0.04, 0.35, 0.04, 0.45},
+}
+
+// archetypeRates is the mean session demand (bytes/second) per archetype.
+var archetypeRates = map[Archetype]float64{
+	ArchetypeMessenger:  15e3,
+	ArchetypeDownloader: 120e3,
+	ArchetypeStreamer:   180e3,
+	ArchetypeWorker:     25e3,
+}
+
+// realmPorts carries one canonical (proto, server port) per realm used
+// when synthesizing flow records; internal/apps classifies them back.
+var realmPorts = [apps.NumRealms]struct {
+	proto string
+	port  int
+}{
+	{"tcp", 1863}, // IM (MSN)
+	{"tcp", 6881}, // P2P (BitTorrent)
+	{"tcp", 554},  // music (RTSP)
+	{"tcp", 25},   // email (SMTP)
+	{"tcp", 1935}, // video (RTMP)
+	{"tcp", 443},  // web (HTTPS)
+}
+
+// activitySlots lists workday activity start hours (fractional) and their
+// selection weights. End times land in the paper's leaving peaks
+// (12:00–13:00, 16:00–17:50, 21:00–22:00); start times create throughput
+// peaks at 10:00–11:00 and 15:00–16:00.
+var activitySlots = []struct {
+	hour   float64
+	weight float64
+}{
+	{8.5, 0.15},
+	{10.0, 0.30}, // throughput peak
+	{13.5, 0.10},
+	{15.0, 0.30}, // throughput peak
+	{19.5, 0.15},
+}
+
+// archetypeSlot biases each archetype toward a preferred activity slot.
+// This plants the paper's type-level co-leaving correlation (Table I):
+// users with similar application usage share schedule rhythms, so
+// same-type users from different groups still co-leave more often than
+// cross-type users.
+var archetypeSlot = map[Archetype]float64{
+	ArchetypeWorker:     8.5,
+	ArchetypeMessenger:  10.0,
+	ArchetypeStreamer:   15.0,
+	ArchetypeDownloader: 19.5,
+}
+
+// slotPreferenceProb is the chance a group activity uses the group
+// archetype's preferred slot instead of a weighted-random one.
+const slotPreferenceProb = 0.8
+
+// activityDurations are the class-like coarse durations (seconds). Coarse
+// quantization makes same-slot same-duration activities end together,
+// which produces the cross-group type-level co-leavings behind Table I —
+// but the number of choices keeps those collisions rare enough that
+// cross-group pairs stay below the θ = 0.3 "close relationship" cut,
+// leaving the social graph dominated by true group structure.
+var activityDurations = []int64{2700, 3600, 4500, 5400, 6300, 7200}
+
+// GroundTruth records the planted structure, letting tests and analyses
+// verify that the pipeline recovers it.
+type GroundTruth struct {
+	// Groups lists each social group's members.
+	Groups [][]trace.UserID
+	// PrimaryGroup maps a user to their group index (-1 for solo users,
+	// -2 for residents).
+	PrimaryGroup map[trace.UserID]int
+	// SecondaryGroup maps users with a second affiliation to it.
+	SecondaryGroup map[trace.UserID]int
+	// UserArchetype maps every user to their planted archetype.
+	UserArchetype map[trace.UserID]Archetype
+	// GroupArchetype maps each group to its dominant archetype.
+	GroupArchetype []Archetype
+}
+
+// Generate builds a complete synthetic trace. The raw trace's AP
+// assignments are produced by replaying arrivals through the LLF policy —
+// the "state-of-the-art strategy adopted in enterprise WLANs" that the
+// paper's measurement section analyzes.
+func Generate(cfg Config) (*trace.Trace, *GroundTruth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	topo := buildTopology(cfg)
+	truth := buildPopulation(cfg, rng)
+	intents, flows := scheduleSessions(cfg, rng, topo, truth)
+	if len(intents) == 0 {
+		return nil, nil, fmt.Errorf("synth: configuration produced no sessions")
+	}
+
+	assigned, err := assignWithLLF(topo, intents)
+	if err != nil {
+		return nil, nil, fmt.Errorf("synth: LLF assignment: %w", err)
+	}
+	tr := &trace.Trace{Topology: topo, Sessions: assigned, Flows: flows}
+	tr.SortSessions()
+	sort.Slice(tr.Flows, func(i, j int) bool {
+		a, b := tr.Flows[i], tr.Flows[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.User < b.User
+	})
+	return tr, truth, nil
+}
+
+func buildTopology(cfg Config) trace.Topology {
+	topo := trace.Topology{APs: make([]trace.AP, 0, cfg.Buildings*cfg.APsPerBuilding)}
+	for b := 0; b < cfg.Buildings; b++ {
+		building := fmt.Sprintf("bldg-%02d", b)
+		ctl := trace.ControllerID(fmt.Sprintf("ctl-%02d", b))
+		for a := 0; a < cfg.APsPerBuilding; a++ {
+			topo.APs = append(topo.APs, trace.AP{
+				ID:          trace.APID(fmt.Sprintf("ap-%02d-%02d", b, a)),
+				Controller:  ctl,
+				Building:    building,
+				CapacityBps: cfg.APCapacityBps,
+			})
+		}
+	}
+	return topo
+}
+
+func buildPopulation(cfg Config, rng *rand.Rand) *GroundTruth {
+	truth := &GroundTruth{
+		PrimaryGroup:   make(map[trace.UserID]int),
+		SecondaryGroup: make(map[trace.UserID]int),
+		UserArchetype:  make(map[trace.UserID]Archetype),
+	}
+	users := make([]trace.UserID, cfg.Users)
+	for i := range users {
+		users[i] = trace.UserID(fmt.Sprintf("user-%04d", i))
+	}
+	nSolo := int(float64(cfg.Users) * cfg.SoloFraction)
+	nResident := int(float64(cfg.Users) * cfg.ResidentFraction)
+	grouped := users[:cfg.Users-nSolo-nResident]
+	solo := users[cfg.Users-nSolo-nResident : cfg.Users-nResident]
+	residents := users[cfg.Users-nResident:]
+
+	// Partition grouped users into groups with random sizes.
+	for i := 0; i < len(grouped); {
+		size := cfg.GroupSizeMin
+		if cfg.GroupSizeMax > cfg.GroupSizeMin {
+			size += rng.Intn(cfg.GroupSizeMax - cfg.GroupSizeMin + 1)
+		}
+		if i+size > len(grouped) {
+			size = len(grouped) - i
+		}
+		gi := len(truth.Groups)
+		members := append([]trace.UserID(nil), grouped[i:i+size]...)
+		truth.Groups = append(truth.Groups, members)
+		// Groups are archetype-homogeneous with ~8% dissenters: this
+		// plants the paper's Table I correlation between usage type and
+		// co-leaving.
+		arch := Archetype(1 + rng.Intn(NumArchetypes))
+		truth.GroupArchetype = append(truth.GroupArchetype, arch)
+		for _, u := range members {
+			truth.PrimaryGroup[u] = gi
+			a := arch
+			if rng.Float64() < 0.08 {
+				a = Archetype(1 + rng.Intn(NumArchetypes))
+			}
+			truth.UserArchetype[u] = a
+		}
+		i += size
+	}
+
+	// Secondary affiliations.
+	if len(truth.Groups) > 1 {
+		for _, u := range grouped {
+			if rng.Float64() < cfg.SecondaryGroupProb {
+				gi := rng.Intn(len(truth.Groups))
+				if gi == truth.PrimaryGroup[u] {
+					gi = (gi + 1) % len(truth.Groups)
+				}
+				truth.SecondaryGroup[u] = gi
+				truth.Groups[gi] = append(truth.Groups[gi], u)
+			}
+		}
+	}
+
+	for _, u := range solo {
+		truth.PrimaryGroup[u] = -1
+		truth.UserArchetype[u] = Archetype(1 + rng.Intn(NumArchetypes))
+	}
+	for _, u := range residents {
+		truth.PrimaryGroup[u] = -2
+		truth.UserArchetype[u] = Archetype(1 + rng.Intn(NumArchetypes))
+	}
+	return truth
+}
+
+// scheduleSessions produces session intents (controller decided, AP left
+// to the LLF replay) and the matching flow records.
+func scheduleSessions(cfg Config, rng *rand.Rand, topo trace.Topology,
+	truth *GroundTruth) ([]trace.Session, []trace.Flow) {
+
+	var sessions []trace.Session
+	var flows []trace.Flow
+	placeholderAP := make(map[trace.ControllerID]trace.APID)
+	for _, ap := range topo.APs {
+		if _, ok := placeholderAP[ap.Controller]; !ok {
+			placeholderAP[ap.Controller] = ap.ID
+		}
+	}
+	controllers := topo.Controllers()
+
+	// Deterministic user ordering: map iteration order would otherwise
+	// randomize both rng consumption and output order across runs.
+	allUsers := make([]trace.UserID, 0, len(truth.UserArchetype))
+	for u := range truth.UserArchetype {
+		allUsers = append(allUsers, u)
+	}
+	sort.Slice(allUsers, func(i, j int) bool { return allUsers[i] < allUsers[j] })
+
+	// Per-user stable personality: a demand multiplier and a personal
+	// application mixture (the archetype mix perturbed per realm). The
+	// personal mixture gives each usage cluster genuine width, which the
+	// gap statistic (Fig. 7) needs to stop at the true k.
+	demandMult := make(map[trace.UserID]float64, len(allUsers))
+	userMix := make(map[trace.UserID][apps.NumRealms]float64, len(allUsers))
+	var soloUsers, residentUsers []trace.UserID
+	for _, u := range allUsers {
+		demandMult[u] = 0.6 + rng.Float64()*0.8 // 0.6..1.4
+		base := archetypeMixes[truth.UserArchetype[u]]
+		var personal [apps.NumRealms]float64
+		var total float64
+		for i, w := range base {
+			// Additive isotropic perturbation: keeps the within-cluster
+			// scatter round, which the gap statistic's stopping rule
+			// assumes. Clamped away from zero to stay a valid share.
+			v := w + rng.NormFloat64()*0.055
+			if v < 0.005 {
+				v = 0.005
+			}
+			personal[i] = v
+			total += v
+		}
+		for i := range personal {
+			personal[i] /= total
+		}
+		userMix[u] = personal
+		switch truth.PrimaryGroup[u] {
+		case -1:
+			soloUsers = append(soloUsers, u)
+		case -2:
+			residentUsers = append(residentUsers, u)
+		}
+	}
+	residentHome := make(map[trace.UserID]int, len(residentUsers))
+	for _, u := range residentUsers {
+		residentHome[u] = rng.Intn(cfg.Buildings)
+	}
+
+	homeBuilding := make([]int, len(truth.Groups))
+	for gi := range truth.Groups {
+		homeBuilding[gi] = rng.Intn(cfg.Buildings)
+	}
+
+	emit := func(u trace.UserID, ctl trace.ControllerID, start, end int64) {
+		if end <= start {
+			return
+		}
+		arch := truth.UserArchetype[u]
+		// Session-level demand is heavy-tailed (lognormal, σ = 0.8): what a
+		// user actually pulls in one sitting varies several-fold around
+		// their personal mean. Controllers only know the mean, so any
+		// load-based policy works from a noisy belief — the regime the
+		// paper's enterprise WLAN operates in. E[lognormal(−σ²/2, σ)] = 1
+		// keeps the personal mean calibrated.
+		const sessionSigma = 0.8
+		noise := math.Exp(rng.NormFloat64()*sessionSigma - sessionSigma*sessionSigma/2)
+		rate := archetypeRates[arch] * demandMult[u] * noise
+		bytes := int64(rate * float64(end-start))
+		if bytes <= 0 {
+			bytes = 1
+		}
+		sessions = append(sessions, trace.Session{
+			User:         u,
+			AP:           placeholderAP[ctl],
+			Controller:   ctl,
+			ConnectAt:    start,
+			DisconnectAt: end,
+			Bytes:        bytes,
+		})
+		day := trace.DayIndex(cfg.Epoch, start)
+		mood := dayMood(cfg.Seed, u, day)
+		mix := userMix[u]
+		for i := range mix {
+			mix[i] *= mood[i]
+		}
+		flows = append(flows, emitFlows(rng, u, mix, start, end, bytes)...)
+	}
+
+	for day := 0; day < cfg.Days; day++ {
+		dayStart := cfg.Epoch + int64(day)*86400
+		weekend := day%7 >= 5
+		activityScale := 1.0
+		if weekend {
+			activityScale = cfg.WeekendActivity
+		}
+
+		// Group activities.
+		for gi, members := range truth.Groups {
+			nAct := cfg.ActivitiesPerDay
+			for act := 0; act < nAct; act++ {
+				if weekend && rng.Float64() > activityScale {
+					continue
+				}
+				slot := pickSlot(rng)
+				if rng.Float64() < slotPreferenceProb {
+					slot = archetypeSlot[truth.GroupArchetype[gi]]
+				}
+				start := dayStart + int64(slot*3600)
+				duration := activityDurations[rng.Intn(len(activityDurations))]
+				end := start + duration
+
+				b := homeBuilding[gi]
+				if rng.Float64() > cfg.HomeBuildingProb {
+					b = rng.Intn(cfg.Buildings)
+				}
+				ctl := controllers[b]
+
+				for _, u := range members {
+					if rng.Float64() > cfg.AttendanceProb {
+						continue
+					}
+					uStart := start + rng.Int63n(2*cfg.ArrivalJitterSeconds+1) - cfg.ArrivalJitterSeconds
+					var uEnd int64
+					if rng.Float64() < cfg.CoLeaveProb {
+						uEnd = end + rng.Int63n(2*cfg.CoLeaveJitterSeconds+1) - cfg.CoLeaveJitterSeconds
+					} else {
+						// Independent leaver: departs up to ±35 minutes
+						// around the end.
+						uEnd = end + rng.Int63n(4200) - 2100
+					}
+					emit(u, ctl, uStart, uEnd)
+				}
+			}
+		}
+
+		// Resident long-stay sessions: the persistent base load. Each
+		// resident works one long shift in their home building on
+		// workdays (reduced presence on weekends); departures are
+		// independent, spread over the evening.
+		for _, u := range residentUsers {
+			if weekend && rng.Float64() > activityScale {
+				continue
+			}
+			start := dayStart + 8*3600 + rng.Int63n(5400) // 08:00–09:30
+			stay := int64(6+rng.Intn(5)) * 3600           // 6–10 hours
+			stay += rng.Int63n(1800)
+			emit(u, controllers[residentHome[u]], start, start+stay)
+		}
+
+		// Solo background sessions.
+		for _, u := range soloUsers {
+			n := poissonish(rng, cfg.SoloSessionsPerDay*activityScale)
+			for s := 0; s < n; s++ {
+				slot := pickSlot(rng)
+				start := dayStart + int64(slot*3600) + rng.Int63n(3600)
+				duration := int64(20+rng.Intn(101)) * 60 // 20–120 minutes
+				ctl := controllers[rng.Intn(len(controllers))]
+				emit(u, ctl, start, start+duration)
+			}
+		}
+	}
+	return sessions, flows
+}
+
+// dayMood returns the per-(user, day) multiplicative activity emphasis: a
+// lognormal per-realm factor that makes any single day a noisy estimate of
+// the user's long-term profile. This drives the paper's Fig. 6 behaviour —
+// the NMI between today's profile and aggregated history keeps improving
+// for a week or two before it plateaus. Derived from a hash so it is
+// deterministic regardless of generation order.
+func dayMood(seed int64, u trace.UserID, day int) [apps.NumRealms]float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(day))
+	h.Write(buf[:])
+	h.Write([]byte(u))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	var m [apps.NumRealms]float64
+	for i := range m {
+		m[i] = math.Exp(rng.NormFloat64() * 0.7)
+	}
+	return m
+}
+
+// emitFlows splits a session's volume into per-realm flows per the user's
+// day-modulated mixture (with mild session-level noise).
+func emitFlows(rng *rand.Rand, u trace.UserID, mix [apps.NumRealms]float64,
+	start, end, bytes int64) []trace.Flow {
+	// Perturb and renormalize the mixture.
+	var noisy [apps.NumRealms]float64
+	var total float64
+	for i, w := range mix {
+		noisy[i] = w * (0.7 + rng.Float64()*0.6)
+		total += noisy[i]
+	}
+	// Each realm's volume is split into a few flows spread across the
+	// session, so per-sub-period traffic varies realistically (Fig. 3
+	// measures exactly this application dynamic).
+	duration := end - start
+	chunks := int(duration / 1800)
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > 4 {
+		chunks = 4
+	}
+	out := make([]trace.Flow, 0, apps.NumRealms*chunks)
+	for i := range noisy {
+		share := noisy[i] / total
+		vol := int64(share * float64(bytes))
+		if vol <= 0 {
+			continue
+		}
+		span := duration / int64(chunks)
+		remaining := vol
+		for c := 0; c < chunks; c++ {
+			// Flows tile the session: each covers its chunk slot with a
+			// small start jitter, so traffic is continuous but the
+			// per-sub-period volume still varies.
+			cStart := start + int64(c)*span
+			fStart := cStart
+			if span > 8 {
+				fStart = cStart + rng.Int63n(span/4)
+			}
+			fEnd := cStart + span
+			if c == chunks-1 || fEnd > end {
+				fEnd = end
+			}
+			if fEnd <= fStart {
+				fEnd = fStart + 1
+			}
+			fVol := remaining / int64(chunks-c)
+			// Mildly uneven chunk volumes create the within-hour variance.
+			if chunks-c > 1 && fVol > 1 {
+				fVol = int64(float64(fVol) * (0.75 + rng.Float64()*0.5))
+				if fVol > remaining {
+					fVol = remaining
+				}
+			}
+			if fVol <= 0 {
+				continue
+			}
+			remaining -= fVol
+			out = append(out, trace.Flow{
+				User:    u,
+				Start:   fStart,
+				End:     fEnd,
+				Proto:   realmPorts[i].proto,
+				SrcPort: 49152 + rng.Intn(16000),
+				DstPort: realmPorts[i].port,
+				Bytes:   fVol,
+			})
+		}
+	}
+	return out
+}
+
+func pickSlot(rng *rand.Rand) float64 {
+	var totalW float64
+	for _, s := range activitySlots {
+		totalW += s.weight
+	}
+	r := rng.Float64() * totalW
+	for _, s := range activitySlots {
+		r -= s.weight
+		if r <= 0 {
+			return s.hour
+		}
+	}
+	return activitySlots[len(activitySlots)-1].hour
+}
+
+// poissonish draws a small non-negative count with the given mean using
+// Knuth's method (means here are ≤ ~4, so this is cheap).
+func poissonish(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 100 {
+			return k
+		}
+	}
+}
+
+// assignWithLLF replays the session intents through the LLF policy to fix
+// each session's AP, mirroring how the real controllers assigned users in
+// the paper's collected trace.
+func assignWithLLF(topo trace.Topology, intents []trace.Session) ([]trace.Session, error) {
+	tr := &trace.Trace{Topology: topo, Sessions: intents}
+	res, err := wlan.Simulate(tr, wlan.Config{
+		SelectorFor: func(trace.ControllerID, []trace.AP) wlan.Selector {
+			return baseline.LLF{}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []trace.Session
+	for _, c := range res.Controllers() {
+		for _, a := range res.Domains[c].Assigned {
+			s := a.Session
+			s.AP = a.AP
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,298 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// This file provides two interchangeable codecs for traces:
+//
+//   - JSON-lines: one JSON document per line, self-describing, used for
+//     whole-trace persistence (topology + sessions + flows).
+//   - CSV: separate session and flow tables, convenient for external
+//     analysis tooling.
+//
+// Both round-trip exactly (modulo record ordering, which is preserved).
+
+// jsonLine is the tagged union written to JSON-lines files.
+type jsonLine struct {
+	Kind     string    `json:"kind"` // "topology", "session" or "flow"
+	Topology *Topology `json:"topology,omitempty"`
+	Session  *Session  `json:"session,omitempty"`
+	Flow     *Flow     `json:"flow,omitempty"`
+}
+
+// WriteJSONLines serializes the trace to w as JSON-lines: first the
+// topology, then sessions, then flows.
+func WriteJSONLines(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonLine{Kind: "topology", Topology: &tr.Topology}); err != nil {
+		return fmt.Errorf("trace: encode topology: %w", err)
+	}
+	for i := range tr.Sessions {
+		if err := enc.Encode(jsonLine{Kind: "session", Session: &tr.Sessions[i]}); err != nil {
+			return fmt.Errorf("trace: encode session %d: %w", i, err)
+		}
+	}
+	for i := range tr.Flows {
+		if err := enc.Encode(jsonLine{Kind: "flow", Flow: &tr.Flows[i]}); err != nil {
+			return fmt.Errorf("trace: encode flow %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONLines parses a JSON-lines trace from r. Unknown kinds are
+// rejected so corruption is caught early.
+func ReadJSONLines(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line jsonLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		switch line.Kind {
+		case "topology":
+			if line.Topology == nil {
+				return nil, fmt.Errorf("trace: line %d: topology record without payload", lineNo)
+			}
+			tr.Topology = *line.Topology
+		case "session":
+			if line.Session == nil {
+				return nil, fmt.Errorf("trace: line %d: session record without payload", lineNo)
+			}
+			tr.Sessions = append(tr.Sessions, *line.Session)
+		case "flow":
+			if line.Flow == nil {
+				return nil, fmt.Errorf("trace: line %d: flow record without payload", lineNo)
+			}
+			tr.Flows = append(tr.Flows, *line.Flow)
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record kind %q", lineNo, line.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return tr, nil
+}
+
+// SaveFile writes the trace to path in JSON-lines format.
+func SaveFile(path string, tr *Trace) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: close %s: %w", path, cerr)
+		}
+	}()
+	return WriteJSONLines(f, tr)
+}
+
+// LoadFile reads a JSON-lines trace from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadJSONLines(f)
+}
+
+var sessionCSVHeader = []string{
+	"user", "ap", "controller", "connect_at", "disconnect_at", "bytes",
+}
+
+// WriteSessionsCSV writes the session table (with header) to w.
+func WriteSessionsCSV(w io.Writer, sessions []Session) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(sessionCSVHeader); err != nil {
+		return fmt.Errorf("trace: write CSV header: %w", err)
+	}
+	for i, s := range sessions {
+		rec := []string{
+			string(s.User),
+			string(s.AP),
+			string(s.Controller),
+			strconv.FormatInt(s.ConnectAt, 10),
+			strconv.FormatInt(s.DisconnectAt, 10),
+			strconv.FormatInt(s.Bytes, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSessionsCSV parses a session table (with header) from r.
+func ReadSessionsCSV(r io.Reader) ([]Session, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(sessionCSVHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read CSV header: %w", err)
+	}
+	for i, want := range sessionCSVHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: CSV header column %d is %q, want %q",
+				i, header[i], want)
+		}
+	}
+	var sessions []Session
+	for row := 2; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV row %d: %w", row, err)
+		}
+		s, err := parseSessionRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV row %d: %w", row, err)
+		}
+		sessions = append(sessions, s)
+	}
+	return sessions, nil
+}
+
+func parseSessionRecord(rec []string) (Session, error) {
+	connect, err := strconv.ParseInt(rec[3], 10, 64)
+	if err != nil {
+		return Session{}, fmt.Errorf("connect_at: %w", err)
+	}
+	disconnect, err := strconv.ParseInt(rec[4], 10, 64)
+	if err != nil {
+		return Session{}, fmt.Errorf("disconnect_at: %w", err)
+	}
+	bytes, err := strconv.ParseInt(rec[5], 10, 64)
+	if err != nil {
+		return Session{}, fmt.Errorf("bytes: %w", err)
+	}
+	s := Session{
+		User:         UserID(rec[0]),
+		AP:           APID(rec[1]),
+		Controller:   ControllerID(rec[2]),
+		ConnectAt:    connect,
+		DisconnectAt: disconnect,
+		Bytes:        bytes,
+	}
+	if err := s.Validate(); err != nil {
+		return Session{}, err
+	}
+	return s, nil
+}
+
+var flowCSVHeader = []string{
+	"user", "start", "end", "proto", "src_port", "dst_port", "bytes",
+}
+
+// WriteFlowsCSV writes the flow table (with header) to w.
+func WriteFlowsCSV(w io.Writer, flows []Flow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(flowCSVHeader); err != nil {
+		return fmt.Errorf("trace: write CSV header: %w", err)
+	}
+	for i, f := range flows {
+		rec := []string{
+			string(f.User),
+			strconv.FormatInt(f.Start, 10),
+			strconv.FormatInt(f.End, 10),
+			f.Proto,
+			strconv.Itoa(f.SrcPort),
+			strconv.Itoa(f.DstPort),
+			strconv.FormatInt(f.Bytes, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadFlowsCSV parses a flow table (with header) from r.
+func ReadFlowsCSV(r io.Reader) ([]Flow, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(flowCSVHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read CSV header: %w", err)
+	}
+	for i, want := range flowCSVHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: CSV header column %d is %q, want %q",
+				i, header[i], want)
+		}
+	}
+	var flows []Flow
+	for row := 2; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV row %d: %w", row, err)
+		}
+		f, err := parseFlowRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV row %d: %w", row, err)
+		}
+		flows = append(flows, f)
+	}
+	return flows, nil
+}
+
+func parseFlowRecord(rec []string) (Flow, error) {
+	start, err := strconv.ParseInt(rec[1], 10, 64)
+	if err != nil {
+		return Flow{}, fmt.Errorf("start: %w", err)
+	}
+	end, err := strconv.ParseInt(rec[2], 10, 64)
+	if err != nil {
+		return Flow{}, fmt.Errorf("end: %w", err)
+	}
+	srcPort, err := strconv.Atoi(rec[4])
+	if err != nil {
+		return Flow{}, fmt.Errorf("src_port: %w", err)
+	}
+	dstPort, err := strconv.Atoi(rec[5])
+	if err != nil {
+		return Flow{}, fmt.Errorf("dst_port: %w", err)
+	}
+	bytes, err := strconv.ParseInt(rec[6], 10, 64)
+	if err != nil {
+		return Flow{}, fmt.Errorf("bytes: %w", err)
+	}
+	f := Flow{
+		User:    UserID(rec[0]),
+		Start:   start,
+		End:     end,
+		Proto:   rec[3],
+		SrcPort: srcPort,
+		DstPort: dstPort,
+		Bytes:   bytes,
+	}
+	if err := f.Validate(); err != nil {
+		return Flow{}, err
+	}
+	return f, nil
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Topology: sampleTopology(),
+		Sessions: []Session{
+			{User: "u1", AP: "ap-1", Controller: "ctl-A", ConnectAt: 100, DisconnectAt: 200, Bytes: 5000},
+			{User: "u2", AP: "ap-2", Controller: "ctl-A", ConnectAt: 150, DisconnectAt: 400, Bytes: 123},
+		},
+		Flows: []Flow{
+			{User: "u1", Start: 100, End: 110, Proto: "tcp", SrcPort: 50000, DstPort: 443, Bytes: 900},
+			{User: "u2", Start: 200, End: 210, Proto: "udp", SrcPort: 50001, DstPort: 53, Bytes: 80},
+		},
+	}
+}
+
+func TestJSONLinesRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v", tr, got)
+	}
+}
+
+func TestReadJSONLinesMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "not json\n"},
+		{"unknown kind", `{"kind":"mystery"}` + "\n"},
+		{"session without payload", `{"kind":"session"}` + "\n"},
+		{"flow without payload", `{"kind":"flow"}` + "\n"},
+		{"topology without payload", `{"kind":"topology"}` + "\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadJSONLines(strings.NewReader(tt.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadJSONLinesSkipsBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	withBlanks := strings.ReplaceAll(buf.String(), "\n", "\n\n")
+	got, err := ReadJSONLines(strings.NewReader(withBlanks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sessions) != 2 {
+		t.Errorf("sessions = %d, want 2", len(got.Sessions))
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	tr := sampleTrace()
+	if err := SaveFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestLoadFileTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.jsonl")
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Chop the file mid-record to simulate a truncated write.
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Error("truncated file should error")
+	}
+}
+
+func TestSessionsCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteSessionsCSV(&buf, tr.Sessions); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSessionsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Sessions, got) {
+		t.Errorf("CSV round trip mismatch:\nwant %+v\ngot  %+v", tr.Sessions, got)
+	}
+}
+
+func TestFlowsCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteFlowsCSV(&buf, tr.Flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlowsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Flows, got) {
+		t.Errorf("CSV round trip mismatch:\nwant %+v\ngot  %+v", tr.Flows, got)
+	}
+}
+
+func TestReadSessionsCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "a,b,c,d,e,f\n"},
+		{"bad int", "user,ap,controller,connect_at,disconnect_at,bytes\nu,a,c,xyz,2,3\n"},
+		{"bad disconnect", "user,ap,controller,connect_at,disconnect_at,bytes\nu,a,c,1,x,3\n"},
+		{"bad bytes", "user,ap,controller,connect_at,disconnect_at,bytes\nu,a,c,1,2,x\n"},
+		{"invalid session", "user,ap,controller,connect_at,disconnect_at,bytes\nu,a,c,5,2,3\n"},
+		{"wrong field count", "user,ap,controller,connect_at,disconnect_at,bytes\nu,a\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadSessionsCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadFlowsCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "x,y,z,p,q,r,s\n"},
+		{"bad start", "user,start,end,proto,src_port,dst_port,bytes\nu,x,2,tcp,1,2,3\n"},
+		{"bad end", "user,start,end,proto,src_port,dst_port,bytes\nu,1,x,tcp,1,2,3\n"},
+		{"bad src port", "user,start,end,proto,src_port,dst_port,bytes\nu,1,2,tcp,x,2,3\n"},
+		{"bad dst port", "user,start,end,proto,src_port,dst_port,bytes\nu,1,2,tcp,1,x,3\n"},
+		{"bad bytes", "user,start,end,proto,src_port,dst_port,bytes\nu,1,2,tcp,1,2,x\n"},
+		{"invalid flow", "user,start,end,proto,src_port,dst_port,bytes\nu,9,2,tcp,1,2,3\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadFlowsCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, &Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sessions) != 0 || len(got.Flows) != 0 {
+		t.Error("empty trace should stay empty")
+	}
+}

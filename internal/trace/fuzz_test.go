@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSONLines hardens the trace parser against corrupt input: it
+// must never panic, and everything it accepts must re-serialize.
+func FuzzReadJSONLines(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteJSONLines(&seed, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("{\"kind\":\"session\"}\n")
+	f.Add("{\"kind\":\"topology\",\"topology\":{\"aps\":[]}}\n")
+	f.Add("not json at all\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadJSONLines(strings.NewReader(input))
+		if err != nil {
+			return // rejected: fine
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONLines(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		if _, err := ReadJSONLines(&buf); err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadSessionsCSV hardens the CSV session parser.
+func FuzzReadSessionsCSV(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteSessionsCSV(&seed, sampleTrace().Sessions); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("user,ap,controller,connect_at,disconnect_at,bytes\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		sessions, err := ReadSessionsCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, s := range sessions {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("accepted invalid session %d: %v", i, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"testing"
+)
+
+func sampleTopology() Topology {
+	return Topology{APs: []AP{
+		{ID: "ap-1", Controller: "ctl-A", Building: "B1", CapacityBps: 1e6},
+		{ID: "ap-2", Controller: "ctl-A", Building: "B1", CapacityBps: 1e6},
+		{ID: "ap-3", Controller: "ctl-B", Building: "B2", CapacityBps: 2e6},
+	}}
+}
+
+func TestHashUserID(t *testing.T) {
+	a := HashUserID("aa:bb:cc:dd:ee:ff")
+	b := HashUserID("aa:bb:cc:dd:ee:ff")
+	c := HashUserID("11:22:33:44:55:66")
+	if a != b {
+		t.Error("hash should be deterministic")
+	}
+	if a == c {
+		t.Error("different MACs should hash differently")
+	}
+	if len(a) != 16 {
+		t.Errorf("hash length = %d, want 16 hex chars", len(a))
+	}
+}
+
+func TestSessionBasics(t *testing.T) {
+	s := Session{User: "u1", AP: "ap-1", ConnectAt: 100, DisconnectAt: 200, Bytes: 1000}
+	if s.Duration() != 100 {
+		t.Errorf("Duration = %d, want 100", s.Duration())
+	}
+	if s.Throughput() != 10 {
+		t.Errorf("Throughput = %v, want 10", s.Throughput())
+	}
+	zero := Session{User: "u1", AP: "a", ConnectAt: 5, DisconnectAt: 5, Bytes: 9}
+	if zero.Throughput() != 0 {
+		t.Errorf("zero-duration throughput = %v, want 0", zero.Throughput())
+	}
+}
+
+func TestSessionOverlap(t *testing.T) {
+	a := Session{ConnectAt: 100, DisconnectAt: 200}
+	tests := []struct {
+		name string
+		b    Session
+		want int64
+	}{
+		{"identical", Session{ConnectAt: 100, DisconnectAt: 200}, 100},
+		{"partial", Session{ConnectAt: 150, DisconnectAt: 250}, 50},
+		{"contained", Session{ConnectAt: 120, DisconnectAt: 130}, 10},
+		{"disjoint", Session{ConnectAt: 300, DisconnectAt: 400}, 0},
+		{"touching", Session{ConnectAt: 200, DisconnectAt: 300}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.Overlap(tt.b); got != tt.want {
+				t.Errorf("Overlap = %d, want %d", got, tt.want)
+			}
+			if got := tt.b.Overlap(a); got != tt.want {
+				t.Errorf("Overlap should be symmetric")
+			}
+		})
+	}
+}
+
+func TestSessionValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		s       Session
+		wantErr bool
+	}{
+		{"ok", Session{User: "u", AP: "a", ConnectAt: 1, DisconnectAt: 2}, false},
+		{"no user", Session{AP: "a", ConnectAt: 1, DisconnectAt: 2}, true},
+		{"no ap", Session{User: "u", ConnectAt: 1, DisconnectAt: 2}, true},
+		{"reversed", Session{User: "u", AP: "a", ConnectAt: 2, DisconnectAt: 1}, true},
+		{"negative bytes", Session{User: "u", AP: "a", ConnectAt: 1, DisconnectAt: 2, Bytes: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.s.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestFlowValidate(t *testing.T) {
+	ok := Flow{User: "u", Start: 1, End: 2, Proto: "tcp", DstPort: 80, Bytes: 10}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid flow rejected: %v", err)
+	}
+	bad := []Flow{
+		{Start: 1, End: 2},                            // no user
+		{User: "u", Start: 2, End: 1},                 // reversed
+		{User: "u", Start: 1, End: 2, Bytes: -1},      // negative
+		{User: "u", Start: 1, End: 2, DstPort: 70000}, // port range
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad flow %d accepted", i)
+		}
+	}
+}
+
+func TestTopologyQueries(t *testing.T) {
+	topo := sampleTopology()
+	ctls := topo.Controllers()
+	if len(ctls) != 2 || ctls[0] != "ctl-A" || ctls[1] != "ctl-B" {
+		t.Errorf("Controllers = %v", ctls)
+	}
+	aps := topo.APsOf("ctl-A")
+	if len(aps) != 2 || aps[0].ID != "ap-1" || aps[1].ID != "ap-2" {
+		t.Errorf("APsOf(ctl-A) = %v", aps)
+	}
+	if got := topo.APsOf("nope"); len(got) != 0 {
+		t.Errorf("APsOf(nope) = %v", got)
+	}
+	ap, ok := topo.APByID("ap-3")
+	if !ok || ap.Controller != "ctl-B" {
+		t.Errorf("APByID = %v, %v", ap, ok)
+	}
+	if _, ok := topo.APByID("missing"); ok {
+		t.Error("APByID should miss")
+	}
+}
+
+func TestTraceSortAndRange(t *testing.T) {
+	tr := &Trace{Sessions: []Session{
+		{User: "b", AP: "a", ConnectAt: 200, DisconnectAt: 400},
+		{User: "a", AP: "a", ConnectAt: 100, DisconnectAt: 150},
+		{User: "a", AP: "b", ConnectAt: 200, DisconnectAt: 500},
+	}}
+	tr.SortSessions()
+	if tr.Sessions[0].User != "a" || tr.Sessions[0].ConnectAt != 100 {
+		t.Errorf("sort order wrong: %+v", tr.Sessions)
+	}
+	if tr.Sessions[1].User != "a" || tr.Sessions[2].User != "b" {
+		t.Errorf("tie-break wrong: %+v", tr.Sessions)
+	}
+	start, end := tr.TimeRange()
+	if start != 100 || end != 500 {
+		t.Errorf("TimeRange = %d, %d; want 100, 500", start, end)
+	}
+	var empty Trace
+	if s, e := empty.TimeRange(); s != 0 || e != 0 {
+		t.Error("empty TimeRange should be 0, 0")
+	}
+}
+
+func TestTraceUsersAndGrouping(t *testing.T) {
+	tr := &Trace{Sessions: []Session{
+		{User: "u2", AP: "a", Controller: "c1", ConnectAt: 1, DisconnectAt: 2},
+		{User: "u1", AP: "a", Controller: "c1", ConnectAt: 1, DisconnectAt: 2},
+		{User: "u1", AP: "b", Controller: "c2", ConnectAt: 3, DisconnectAt: 4},
+	}}
+	users := tr.Users()
+	if len(users) != 2 || users[0] != "u1" || users[1] != "u2" {
+		t.Errorf("Users = %v", users)
+	}
+	byUser := tr.SessionsByUser()
+	if len(byUser["u1"]) != 2 || len(byUser["u2"]) != 1 {
+		t.Errorf("SessionsByUser = %v", byUser)
+	}
+	c1 := tr.SessionsOfController("c1")
+	if len(c1) != 2 {
+		t.Errorf("SessionsOfController(c1) = %v", c1)
+	}
+}
+
+func TestSplitAt(t *testing.T) {
+	tr := &Trace{
+		Topology: sampleTopology(),
+		Sessions: []Session{
+			{User: "u", AP: "ap-1", ConnectAt: 10, DisconnectAt: 20},
+			{User: "u", AP: "ap-1", ConnectAt: 100, DisconnectAt: 120},
+		},
+		Flows: []Flow{
+			{User: "u", Start: 5, End: 6},
+			{User: "u", Start: 105, End: 106},
+		},
+	}
+	train, test := tr.SplitAt(50)
+	if len(train.Sessions) != 1 || len(test.Sessions) != 1 {
+		t.Errorf("session split = %d/%d, want 1/1",
+			len(train.Sessions), len(test.Sessions))
+	}
+	if len(train.Flows) != 1 || len(test.Flows) != 1 {
+		t.Errorf("flow split = %d/%d, want 1/1", len(train.Flows), len(test.Flows))
+	}
+	if len(train.Topology.APs) != 3 || len(test.Topology.APs) != 3 {
+		t.Error("topology should be carried to both splits")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	good := &Trace{
+		Topology: sampleTopology(),
+		Sessions: []Session{{User: "u", AP: "ap-1", ConnectAt: 1, DisconnectAt: 2}},
+		Flows:    []Flow{{User: "u", Start: 1, End: 2, Proto: "tcp"}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	unknownAP := &Trace{
+		Topology: sampleTopology(),
+		Sessions: []Session{{User: "u", AP: "ghost", ConnectAt: 1, DisconnectAt: 2}},
+	}
+	if err := unknownAP.Validate(); err == nil {
+		t.Error("unknown AP should be rejected")
+	}
+	dupAP := &Trace{Topology: Topology{APs: []AP{{ID: "x"}, {ID: "x"}}}}
+	if err := dupAP.Validate(); err == nil {
+		t.Error("duplicate AP should be rejected")
+	}
+	negCap := &Trace{Topology: Topology{APs: []AP{{ID: "x", CapacityBps: -1}}}}
+	if err := negCap.Validate(); err == nil {
+		t.Error("negative capacity should be rejected")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	const epoch = 1_000_000
+	if d := DayIndex(epoch, epoch+86400*3+5); d != 3 {
+		t.Errorf("DayIndex = %d, want 3", d)
+	}
+	if s := SecondsIntoDay(epoch, epoch+86400+7200); s != 7200 {
+		t.Errorf("SecondsIntoDay = %d, want 7200", s)
+	}
+	if h := HourOfDay(epoch, epoch+86400*2+3600*13+55); h != 13 {
+		t.Errorf("HourOfDay = %d, want 13", h)
+	}
+	if got := FormatTime(0); got != "1970-01-01 00:00:00" {
+		t.Errorf("FormatTime(0) = %q", got)
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Streaming access to JSON-lines traces: multi-month enterprise traces
+// can be larger than memory, so callers can visit records without
+// materializing the whole Trace.
+
+// StreamHandler receives trace records in file order. Exactly one of the
+// pointers is non-nil per call. Returning a non-nil error aborts the scan
+// and is returned by Stream verbatim.
+type StreamHandler func(topo *Topology, s *Session, f *Flow) error
+
+// ErrStopStream can be returned by a StreamHandler to end the scan early
+// without Stream reporting an error.
+var ErrStopStream = fmt.Errorf("trace: stop stream")
+
+// Stream scans a JSON-lines trace from r, invoking handler per record.
+func Stream(r io.Reader, handler StreamHandler) error {
+	if handler == nil {
+		return fmt.Errorf("trace: nil stream handler")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line jsonLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		var err error
+		switch line.Kind {
+		case "topology":
+			if line.Topology == nil {
+				return fmt.Errorf("trace: line %d: topology without payload", lineNo)
+			}
+			err = handler(line.Topology, nil, nil)
+		case "session":
+			if line.Session == nil {
+				return fmt.Errorf("trace: line %d: session without payload", lineNo)
+			}
+			err = handler(nil, line.Session, nil)
+		case "flow":
+			if line.Flow == nil {
+				return fmt.Errorf("trace: line %d: flow without payload", lineNo)
+			}
+			err = handler(nil, nil, line.Flow)
+		default:
+			return fmt.Errorf("trace: line %d: unknown record kind %q", lineNo, line.Kind)
+		}
+		if err != nil {
+			if err == ErrStopStream {
+				return nil
+			}
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("trace: scan: %w", err)
+	}
+	return nil
+}
+
+// StreamFile opens path and scans it with Stream.
+func StreamFile(path string, handler StreamHandler) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Stream(f, handler)
+}
+
+// CountRecords streams a trace file and tallies its records — a cheap
+// integrity probe for large files.
+func CountRecords(path string) (sessions, flows int, err error) {
+	err = StreamFile(path, func(_ *Topology, s *Session, f *Flow) error {
+		switch {
+		case s != nil:
+			sessions++
+		case f != nil:
+			flows++
+		}
+		return nil
+	})
+	return sessions, flows, err
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := SaveFile(path, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStreamVisitsEverything(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	var topos, sessions, flows int
+	err := Stream(&buf, func(topo *Topology, s *Session, f *Flow) error {
+		switch {
+		case topo != nil:
+			topos++
+		case s != nil:
+			sessions++
+		case f != nil:
+			flows++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topos != 1 || sessions != 2 || flows != 2 {
+		t.Errorf("visited %d/%d/%d, want 1/2/2", topos, sessions, flows)
+	}
+}
+
+func TestStreamEarlyStop(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	err := Stream(&buf, func(*Topology, *Session, *Flow) error {
+		count++
+		if count == 2 {
+			return ErrStopStream
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("early stop should not error: %v", err)
+	}
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+func TestStreamHandlerError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := Stream(&buf, func(*Topology, *Session, *Flow) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestStreamMalformed(t *testing.T) {
+	cases := []string{
+		"garbage\n",
+		`{"kind":"mystery"}` + "\n",
+		`{"kind":"session"}` + "\n",
+		`{"kind":"flow"}` + "\n",
+		`{"kind":"topology"}` + "\n",
+	}
+	for _, in := range cases {
+		err := Stream(strings.NewReader(in), func(*Topology, *Session, *Flow) error {
+			return nil
+		})
+		if err == nil {
+			t.Errorf("input %q should error", in)
+		}
+	}
+	if err := Stream(strings.NewReader(""), nil); err == nil {
+		t.Error("nil handler should error")
+	}
+}
+
+func TestStreamFileAndCount(t *testing.T) {
+	path := writeSample(t)
+	sessions, flows, err := CountRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sessions != 2 || flows != 2 {
+		t.Errorf("counts = %d/%d, want 2/2", sessions, flows)
+	}
+	if _, _, err := CountRecords(filepath.Join(t.TempDir(), "no.jsonl")); err == nil {
+		t.Error("missing file should error")
+	}
+}

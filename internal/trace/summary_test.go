@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	tr := sampleTrace()
+	s := tr.Summarize(0)
+	if s.Users != 2 || s.Sessions != 2 || s.Flows != 2 {
+		t.Errorf("counts = %d/%d/%d", s.Users, s.Sessions, s.Flows)
+	}
+	if s.Controllers != 2 || s.APs != 3 {
+		t.Errorf("topology = %d controllers, %d APs", s.Controllers, s.APs)
+	}
+	if s.Start != 100 || s.End != 400 {
+		t.Errorf("range = %d..%d", s.Start, s.End)
+	}
+	if s.TotalBytes != 5123 {
+		t.Errorf("bytes = %d, want 5123", s.TotalBytes)
+	}
+	// Durations 100 and 250 -> mean 175.
+	if s.MeanSessionSeconds != 175 {
+		t.Errorf("mean duration = %v, want 175", s.MeanSessionSeconds)
+	}
+	if s.SessionsPerController["ctl-A"] != 2 {
+		t.Errorf("per-controller = %v", s.SessionsPerController)
+	}
+	if s.ArrivalsByHour[0] != 2 {
+		t.Errorf("arrivals by hour = %v", s.ArrivalsByHour)
+	}
+	hour, count := s.PeakArrivalHour()
+	if hour != 0 || count != 2 {
+		t.Errorf("peak hour = %d (%d)", hour, count)
+	}
+	if out := s.String(); !strings.Contains(out, "2 users") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	var tr Trace
+	s := tr.Summarize(0)
+	if s.Sessions != 0 || s.MeanSessionSeconds != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := sampleTrace()
+	// Sessions run 100-200 and 150-400; flows start at 100 and 200.
+	s := tr.Slice(180, 250)
+	if len(s.Sessions) != 2 {
+		t.Errorf("sessions = %d, want 2 (both overlap)", len(s.Sessions))
+	}
+	if len(s.Flows) != 1 || s.Flows[0].Start != 200 {
+		t.Errorf("flows = %+v", s.Flows)
+	}
+	empty := tr.Slice(1000, 2000)
+	if len(empty.Sessions) != 0 || len(empty.Flows) != 0 {
+		t.Error("out-of-range slice should be empty")
+	}
+	if len(empty.Topology.APs) != 3 {
+		t.Error("topology should carry over")
+	}
+}

@@ -1,0 +1,71 @@
+// Package wlan is the enterprise-WLAN simulation layer: controllers and
+// APs with capacity, stations with demands, an association lifecycle
+// driven by a discrete-event engine, and a pluggable association policy
+// (the Selector). Baseline policies live in internal/baseline; the S³
+// policy lives in internal/core.
+package wlan
+
+import (
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// Request describes one user asking to associate.
+type Request struct {
+	// User is the requesting station.
+	User trace.UserID
+	// At is the simulated time of the request.
+	At int64
+	// DemandBps is the user's estimated bandwidth demand w(u) in
+	// bytes/second.
+	DemandBps float64
+}
+
+// APView is a selector's read-only view of one AP's live state.
+type APView struct {
+	// ID identifies the AP.
+	ID trace.APID
+	// CapacityBps is the AP's bandwidth W(i) in bytes/second.
+	CapacityBps float64
+	// LoadBps is the sum of demands of currently associated users.
+	LoadBps float64
+	// Users are the currently associated users (sorted).
+	Users []trace.UserID
+	// UserDemands[i] is the believed demand (bytes/second) of Users[i].
+	// May be nil when the caller does not track per-user demand.
+	UserDemands []float64
+	// RSSI is the received signal strength the requesting user sees for
+	// this AP, in dBm (higher is stronger). Synthesized by the simulator;
+	// used only by the strongest-signal baseline.
+	RSSI float64
+}
+
+// HasCapacityFor reports whether adding demand keeps the AP within its
+// bandwidth constraint Σw(u) ≤ W(i). APs with zero capacity are treated
+// as unconstrained (capacity not modeled).
+func (v APView) HasCapacityFor(demand float64) bool {
+	if v.CapacityBps <= 0 {
+		return true
+	}
+	return v.LoadBps+demand <= v.CapacityBps
+}
+
+// Selector is an association policy: given a request and the live state of
+// the candidate APs in the controller domain, pick one AP. Implementations
+// must be deterministic for reproducible experiments. aps is never empty.
+type Selector interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Select returns the chosen AP's ID. Returning an ID not present in
+	// aps is a programming error and fails the simulation.
+	Select(req Request, aps []APView) (trace.APID, error)
+}
+
+// BatchSelector is an optional extension for policies that distribute a
+// group of simultaneous arrivals jointly (S³'s Algorithm 1 distributes
+// socially-tight cliques across APs in one decision). The simulator
+// batches arrivals with identical timestamps per controller and offers
+// them to SelectBatch; the result maps every user in reqs to an AP.
+type BatchSelector interface {
+	Selector
+	SelectBatch(reqs []Request, aps []APView) (map[trace.UserID]trace.APID, error)
+}

@@ -1,0 +1,459 @@
+package wlan
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"github.com/s3wlan/s3wlan/internal/eventsim"
+	"github.com/s3wlan/s3wlan/internal/metrics"
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// Failure injects an AP outage: the AP accepts no new associations during
+// [From, To) and stations associated at From are disconnected (their
+// sessions end early; S³ never migrates users, so they simply leave).
+type Failure struct {
+	AP   trace.APID
+	From int64
+	To   int64
+}
+
+// Config configures a simulation run.
+type Config struct {
+	// BinSeconds is the width of the throughput accounting bins
+	// (default 300 — the paper's five-minute sub-periods).
+	BinSeconds int64
+	// SelectorFor builds the association policy for one controller
+	// domain. Required.
+	SelectorFor func(c trace.ControllerID, aps []trace.AP) Selector
+	// DemandFor estimates a user's bandwidth demand w(u) for a session.
+	// Defaults to the session's own mean throughput (perfect estimation);
+	// production policies plug the history-based estimator from
+	// internal/core.
+	DemandFor func(s trace.Session) float64
+	// Failures injects AP outages.
+	Failures []Failure
+	// BatchWindowSeconds groups arrivals in the same controller within
+	// this window into one batch decision for BatchSelectors (0 batches
+	// only identical timestamps).
+	BatchWindowSeconds int64
+	// LoadReportIntervalSeconds models the controller's AP traffic-report
+	// polling (CAPWAP-style statistics): selectors see each AP's LoadBps
+	// as of the last report tick rather than live. Association state
+	// (user lists, per-user believed demands) is always live — the
+	// controller performs the associations itself. 0 means live load.
+	LoadReportIntervalSeconds int64
+}
+
+// Assignment records where the simulator placed one session.
+type Assignment struct {
+	// Session is the original trace session (times and volume preserved;
+	// DisconnectAt may be truncated by an AP failure).
+	Session trace.Session
+	// AP is the AP chosen by the policy (may differ from Session.AP).
+	AP trace.APID
+}
+
+// DomainResult holds one controller domain's outcome.
+type DomainResult struct {
+	Controller trace.ControllerID
+	// APs is the domain's AP set in stable order (column order of Loads).
+	APs []trace.APID
+	// Assigned lists every placed session.
+	Assigned []Assignment
+	// Overloads counts assignments that violated the bandwidth
+	// constraint because no feasible AP existed (policy fell back).
+	Overloads int
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Start, End int64
+	BinSeconds int64
+	// Domains maps controller ID to its result.
+	Domains map[trace.ControllerID]*DomainResult
+	// Policy is the name reported by the selectors.
+	Policy string
+}
+
+// LoadSeries computes the normalized balance-index time series of one
+// domain from its assignments.
+func (r *Result) LoadSeries(c trace.ControllerID) (*metrics.Series, error) {
+	d, ok := r.Domains[c]
+	if !ok {
+		return nil, fmt.Errorf("wlan: unknown controller %q", c)
+	}
+	sessions := make([]trace.Session, 0, len(d.Assigned))
+	for _, a := range d.Assigned {
+		s := a.Session
+		s.AP = a.AP
+		sessions = append(sessions, s)
+	}
+	loads, err := trace.BinLoads(sessions, d.APs, r.Start, r.End, r.BinSeconds)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.NewSeries(r.Start, r.BinSeconds, loads)
+}
+
+// Controllers lists the simulated controller domains in sorted order.
+func (r *Result) Controllers() []trace.ControllerID {
+	out := make([]trace.ControllerID, 0, len(r.Domains))
+	for c := range r.Domains {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// apState is the simulator's live AP bookkeeping.
+type apState struct {
+	ap      trace.AP
+	loadBps float64
+	users   map[trace.UserID]float64 // user -> demand
+	failed  bool
+	// reportedLoad is the load snapshot selectors see when load reports
+	// are periodic (Config.LoadReportIntervalSeconds > 0).
+	reportedLoad float64
+	// staleLoad selects whether views expose reportedLoad or loadBps.
+	staleLoad bool
+}
+
+// domain is one controller's live state.
+type domain struct {
+	id       trace.ControllerID
+	aps      []*apState // stable order
+	selector Selector
+	result   *DomainResult
+}
+
+// Simulate replays the trace's sessions through the association policies.
+// Session arrival order and times come from the trace; the policy decides
+// placement. Sessions whose controller has no APs are skipped with an
+// error.
+func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
+	if cfg.SelectorFor == nil {
+		return nil, errors.New("wlan: Config.SelectorFor is required")
+	}
+	if cfg.BinSeconds <= 0 {
+		cfg.BinSeconds = 300
+	}
+	if cfg.DemandFor == nil {
+		cfg.DemandFor = func(s trace.Session) float64 { return s.Throughput() }
+	}
+	if len(tr.Sessions) == 0 {
+		return nil, errors.New("wlan: no sessions to simulate")
+	}
+
+	start, end := tr.TimeRange()
+	res := &Result{
+		Start:      start,
+		End:        end,
+		BinSeconds: cfg.BinSeconds,
+		Domains:    make(map[trace.ControllerID]*DomainResult),
+	}
+
+	domains := make(map[trace.ControllerID]*domain)
+	for _, c := range tr.Topology.Controllers() {
+		aps := tr.Topology.APsOf(c)
+		if len(aps) == 0 {
+			continue
+		}
+		d := &domain{id: c}
+		for _, ap := range aps {
+			d.aps = append(d.aps, &apState{ap: ap, users: make(map[trace.UserID]float64)})
+		}
+		d.selector = cfg.SelectorFor(c, aps)
+		if d.selector == nil {
+			return nil, fmt.Errorf("wlan: nil selector for controller %q", c)
+		}
+		if res.Policy == "" {
+			res.Policy = d.selector.Name()
+		}
+		d.result = &DomainResult{Controller: c}
+		for _, ap := range aps {
+			d.result.APs = append(d.result.APs, ap.ID)
+		}
+		res.Domains[c] = d.result
+		domains[c] = d
+	}
+	if len(domains) == 0 {
+		return nil, errors.New("wlan: topology has no controllers with APs")
+	}
+
+	// Order sessions deterministically and group co-arrivals per
+	// controller within the batch window.
+	sessions := append([]trace.Session(nil), tr.Sessions...)
+	sort.Slice(sessions, func(i, j int) bool {
+		a, b := sessions[i], sessions[j]
+		if a.ConnectAt != b.ConnectAt {
+			return a.ConnectAt < b.ConnectAt
+		}
+		if a.Controller != b.Controller {
+			return a.Controller < b.Controller
+		}
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		return a.DisconnectAt < b.DisconnectAt
+	})
+
+	engine := eventsim.New(start)
+	if cfg.LoadReportIntervalSeconds > 0 {
+		for _, d := range domains {
+			for _, st := range d.aps {
+				st.staleLoad = true
+			}
+		}
+		// One report tick refreshes every AP's load snapshot; the chain
+		// self-terminates when the workload drains.
+		err := engine.ScheduleEvery(cfg.LoadReportIntervalSeconds,
+			func(*eventsim.Engine) {
+				for _, d := range domains {
+					for _, st := range d.aps {
+						st.reportedLoad = st.loadBps
+					}
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var simErr error
+	fail := func(err error) {
+		if simErr == nil {
+			simErr = err
+		}
+		engine.Stop()
+	}
+
+	// Schedule AP failures.
+	failures := make(map[trace.APID][]Failure)
+	for _, f := range cfg.Failures {
+		failures[f.AP] = append(failures[f.AP], f)
+	}
+	for _, d := range domains {
+		for _, st := range d.aps {
+			for _, f := range failures[st.ap.ID] {
+				st := st
+				f := f
+				d := d
+				if err := engine.ScheduleAt(f.From, func(e *eventsim.Engine) {
+					st.failed = true
+					truncateSessions(d, st, e.Now())
+				}); err != nil {
+					return nil, err
+				}
+				if err := engine.ScheduleAt(f.To, func(*eventsim.Engine) {
+					st.failed = false
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Schedule arrivals batch by batch.
+	for i := 0; i < len(sessions); {
+		j := i + 1
+		first := sessions[i]
+		for j < len(sessions) &&
+			sessions[j].Controller == first.Controller &&
+			sessions[j].ConnectAt-first.ConnectAt <= cfg.BatchWindowSeconds {
+			j++
+		}
+		batch := sessions[i:j]
+		d, ok := domains[first.Controller]
+		if !ok {
+			return nil, fmt.Errorf("wlan: session for unknown controller %q",
+				first.Controller)
+		}
+		if err := engine.ScheduleAt(first.ConnectAt, func(e *eventsim.Engine) {
+			if err := handleBatch(e, d, batch, cfg); err != nil {
+				fail(err)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+
+	engine.Run()
+	if simErr != nil {
+		return nil, simErr
+	}
+	return res, nil
+}
+
+// truncateSessions ends all sessions on a failed AP at time now.
+func truncateSessions(d *domain, st *apState, now int64) {
+	for i := range d.result.Assigned {
+		a := &d.result.Assigned[i]
+		if a.AP != st.ap.ID || a.Session.DisconnectAt <= now {
+			continue
+		}
+		if _, live := st.users[a.Session.User]; !live {
+			continue
+		}
+		// Scale the served volume down to the truncated duration.
+		full := a.Session.Duration()
+		if full > 0 {
+			served := now - a.Session.ConnectAt
+			a.Session.Bytes = int64(float64(a.Session.Bytes) * float64(served) / float64(full))
+		}
+		a.Session.DisconnectAt = now
+	}
+	st.loadBps = 0
+	st.users = make(map[trace.UserID]float64)
+}
+
+func handleBatch(e *eventsim.Engine, d *domain, batch []trace.Session, cfg Config) error {
+	views := d.views(batch[0].User)
+	if len(views) == 0 {
+		return fmt.Errorf("wlan: controller %q has no available APs at t=%d",
+			d.id, e.Now())
+	}
+
+	placed := make(map[trace.UserID]trace.APID)
+	if bs, ok := d.selector.(BatchSelector); ok && len(batch) > 1 {
+		// One request per user: a user opening several sessions inside the
+		// batch window joins the joint decision once; their extra sessions
+		// fall through to the per-arrival path below.
+		reqs := make([]Request, 0, len(batch))
+		seen := make(map[trace.UserID]bool, len(batch))
+		for _, s := range batch {
+			if seen[s.User] {
+				continue
+			}
+			seen[s.User] = true
+			reqs = append(reqs, Request{
+				User:      s.User,
+				At:        s.ConnectAt,
+				DemandBps: cfg.DemandFor(s),
+			})
+		}
+		m, err := bs.SelectBatch(reqs, views)
+		if err != nil {
+			return fmt.Errorf("wlan: batch select on %q: %w", d.id, err)
+		}
+		placed = m
+	}
+
+	for _, s := range batch {
+		apID, ok := placed[s.User]
+		demand := cfg.DemandFor(s)
+		if !ok {
+			var err error
+			apID, err = d.selector.Select(Request{
+				User: s.User, At: s.ConnectAt, DemandBps: demand,
+			}, d.views(s.User))
+			if err != nil {
+				return fmt.Errorf("wlan: select on %q: %w", d.id, err)
+			}
+		}
+		if err := d.place(e, s, apID, demand); err != nil {
+			return err
+		}
+		// Re-read views for the next batch member so sequential
+		// placements see updated loads.
+		views = d.views(s.User)
+	}
+	return nil
+}
+
+// place associates session s with AP apID and schedules its departure.
+func (d *domain) place(e *eventsim.Engine, s trace.Session, apID trace.APID, demand float64) error {
+	var st *apState
+	for _, a := range d.aps {
+		if a.ap.ID == apID {
+			st = a
+			break
+		}
+	}
+	if st == nil {
+		return fmt.Errorf("wlan: selector %q chose unknown AP %q",
+			d.selector.Name(), apID)
+	}
+	if st.failed {
+		return fmt.Errorf("wlan: selector %q chose failed AP %q",
+			d.selector.Name(), apID)
+	}
+	if st.ap.CapacityBps > 0 && st.loadBps+demand > st.ap.CapacityBps {
+		d.result.Overloads++
+	}
+	st.users[s.User] += demand
+	st.loadBps += demand
+	d.result.Assigned = append(d.result.Assigned, Assignment{Session: s, AP: apID})
+	idx := len(d.result.Assigned) - 1
+	departAt := s.DisconnectAt
+	if departAt < e.Now() {
+		departAt = e.Now()
+	}
+	return e.ScheduleAt(departAt, func(en *eventsim.Engine) {
+		// The assignment may have been truncated by a failure; only
+		// release if the user is still on this AP.
+		a := d.result.Assigned[idx]
+		if a.Session.DisconnectAt < en.Now() {
+			return // already released by failure truncation
+		}
+		if cur, ok := st.users[s.User]; ok {
+			rem := cur - demand
+			if rem <= 1e-9 {
+				delete(st.users, s.User)
+			} else {
+				st.users[s.User] = rem
+			}
+			st.loadBps -= demand
+			if st.loadBps < 0 {
+				st.loadBps = 0
+			}
+		}
+	})
+}
+
+// views snapshots the domain's non-failed APs for a selector call,
+// synthesizing a deterministic per-(user, AP) RSSI.
+func (d *domain) views(u trace.UserID) []APView {
+	out := make([]APView, 0, len(d.aps))
+	for _, st := range d.aps {
+		if st.failed {
+			continue
+		}
+		users := make([]trace.UserID, 0, len(st.users))
+		for id := range st.users {
+			users = append(users, id)
+		}
+		sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+		demands := make([]float64, len(users))
+		for i, id := range users {
+			demands[i] = st.users[id]
+		}
+		load := st.loadBps
+		if st.staleLoad {
+			load = st.reportedLoad
+		}
+		out = append(out, APView{
+			ID:          st.ap.ID,
+			CapacityBps: st.ap.CapacityBps,
+			LoadBps:     load,
+			Users:       users,
+			UserDemands: demands,
+			RSSI:        syntheticRSSI(u, st.ap.ID),
+		})
+	}
+	return out
+}
+
+// syntheticRSSI derives a stable pseudo-random signal strength in
+// [-90, -30] dBm from the (user, AP) pair. It stands in for physical
+// proximity: each user consistently "hears" some APs louder than others,
+// which is all the strongest-RSSI baseline needs.
+func syntheticRSSI(u trace.UserID, ap trace.APID) float64 {
+	h := fnv.New32a()
+	h.Write([]byte(u))
+	h.Write([]byte{0})
+	h.Write([]byte(ap))
+	return -90 + float64(h.Sum32()%61)
+}

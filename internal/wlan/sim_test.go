@@ -1,0 +1,344 @@
+package wlan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// llf is a minimal least-loaded selector for tests (mirrors
+// internal/baseline without the import cycle risk in examples).
+type llf struct{}
+
+func (llf) Name() string { return "test-llf" }
+func (llf) Select(_ Request, aps []APView) (trace.APID, error) {
+	best := aps[0]
+	for _, ap := range aps[1:] {
+		if ap.LoadBps < best.LoadBps ||
+			(ap.LoadBps == best.LoadBps && ap.ID < best.ID) {
+			best = ap
+		}
+	}
+	return best.ID, nil
+}
+
+// fixed always picks one AP.
+type fixed struct{ ap trace.APID }
+
+func (f fixed) Name() string                                 { return "fixed" }
+func (f fixed) Select(Request, []APView) (trace.APID, error) { return f.ap, nil }
+
+// batcher spreads batch members across APs round-robin and records that
+// the batch path was taken.
+type batcher struct {
+	llf
+	batches int
+}
+
+func (b *batcher) SelectBatch(reqs []Request, aps []APView) (map[trace.UserID]trace.APID, error) {
+	b.batches++
+	out := make(map[trace.UserID]trace.APID, len(reqs))
+	for i, r := range reqs {
+		out[r.User] = aps[i%len(aps)].ID
+	}
+	return out, nil
+}
+
+func twoAPTopology() trace.Topology {
+	return trace.Topology{APs: []trace.AP{
+		{ID: "ap1", Controller: "c1", CapacityBps: 1000},
+		{ID: "ap2", Controller: "c1", CapacityBps: 1000},
+	}}
+}
+
+func TestSimulateBalancesWithLLF(t *testing.T) {
+	tr := &trace.Trace{Topology: twoAPTopology()}
+	// Four identical users arriving in sequence: LLF alternates APs.
+	for i, u := range []trace.UserID{"u1", "u2", "u3", "u4"} {
+		tr.Sessions = append(tr.Sessions, trace.Session{
+			User: u, AP: "ap1", Controller: "c1",
+			ConnectAt: int64(i * 10), DisconnectAt: 1000, Bytes: 1000,
+		})
+	}
+	res, err := Simulate(tr, Config{
+		BinSeconds:  100,
+		SelectorFor: func(trace.ControllerID, []trace.AP) Selector { return llf{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Domains["c1"]
+	if len(d.Assigned) != 4 {
+		t.Fatalf("assigned = %d, want 4", len(d.Assigned))
+	}
+	perAP := map[trace.APID]int{}
+	for _, a := range d.Assigned {
+		perAP[a.AP]++
+	}
+	if perAP["ap1"] != 2 || perAP["ap2"] != 2 {
+		t.Errorf("placement = %v, want 2/2", perAP)
+	}
+	if d.Overloads != 0 {
+		t.Errorf("overloads = %d, want 0", d.Overloads)
+	}
+	if res.Policy != "test-llf" {
+		t.Errorf("policy = %q", res.Policy)
+	}
+}
+
+func TestSimulateLoadSeries(t *testing.T) {
+	tr := &trace.Trace{Topology: twoAPTopology()}
+	tr.Sessions = []trace.Session{
+		{User: "u1", AP: "ap1", Controller: "c1", ConnectAt: 0, DisconnectAt: 200, Bytes: 200},
+		{User: "u2", AP: "ap1", Controller: "c1", ConnectAt: 0, DisconnectAt: 200, Bytes: 200},
+	}
+	res, err := Simulate(tr, Config{
+		BinSeconds:  100,
+		SelectorFor: func(trace.ControllerID, []trace.AP) Selector { return llf{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := res.LoadSeries("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LLF splits the two users; both bins perfectly balanced.
+	for i, v := range s.Values {
+		if math.Abs(v-1) > 1e-9 {
+			t.Errorf("bin %d balance = %v, want 1", i, v)
+		}
+	}
+	if _, err := res.LoadSeries("nope"); err == nil {
+		t.Error("unknown controller should error")
+	}
+}
+
+func TestSimulateSingleAPOverload(t *testing.T) {
+	tr := &trace.Trace{Topology: trace.Topology{APs: []trace.AP{
+		{ID: "only", Controller: "c1", CapacityBps: 10},
+	}}}
+	tr.Sessions = []trace.Session{
+		{User: "u1", AP: "only", Controller: "c1", ConnectAt: 0, DisconnectAt: 100, Bytes: 900},
+		{User: "u2", AP: "only", Controller: "c1", ConnectAt: 10, DisconnectAt: 100, Bytes: 900},
+	}
+	res, err := Simulate(tr, Config{
+		SelectorFor: func(trace.ControllerID, []trace.AP) Selector { return llf{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Domains["c1"].Overloads == 0 {
+		t.Error("expected overload to be recorded")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	tr := &trace.Trace{Topology: twoAPTopology()}
+	tr.Sessions = []trace.Session{
+		{User: "u", AP: "ap1", Controller: "c1", ConnectAt: 0, DisconnectAt: 10},
+	}
+	if _, err := Simulate(tr, Config{}); err == nil {
+		t.Error("missing SelectorFor should error")
+	}
+	if _, err := Simulate(&trace.Trace{Topology: twoAPTopology()}, Config{
+		SelectorFor: func(trace.ControllerID, []trace.AP) Selector { return llf{} },
+	}); err == nil {
+		t.Error("no sessions should error")
+	}
+	// Unknown controller in a session.
+	bad := &trace.Trace{Topology: twoAPTopology()}
+	bad.Sessions = []trace.Session{
+		{User: "u", AP: "x", Controller: "ghost", ConnectAt: 0, DisconnectAt: 10},
+	}
+	if _, err := Simulate(bad, Config{
+		SelectorFor: func(trace.ControllerID, []trace.AP) Selector { return llf{} },
+	}); err == nil {
+		t.Error("unknown controller should error")
+	}
+	// Selector returning an unknown AP.
+	if _, err := Simulate(tr, Config{
+		SelectorFor: func(trace.ControllerID, []trace.AP) Selector {
+			return fixed{ap: "bogus"}
+		},
+	}); err == nil || !strings.Contains(err.Error(), "unknown AP") {
+		t.Errorf("bogus AP should fail the simulation, got %v", err)
+	}
+	// Nil selector.
+	if _, err := Simulate(tr, Config{
+		SelectorFor: func(trace.ControllerID, []trace.AP) Selector { return nil },
+	}); err == nil {
+		t.Error("nil selector should error")
+	}
+	// Topology without APs.
+	empty := &trace.Trace{}
+	empty.Sessions = []trace.Session{
+		{User: "u", AP: "a", Controller: "c", ConnectAt: 0, DisconnectAt: 1},
+	}
+	if _, err := Simulate(empty, Config{
+		SelectorFor: func(trace.ControllerID, []trace.AP) Selector { return llf{} },
+	}); err == nil {
+		t.Error("empty topology should error")
+	}
+}
+
+func TestSimulateBatchSelector(t *testing.T) {
+	tr := &trace.Trace{Topology: twoAPTopology()}
+	// Three users arrive at the same instant: one batch decision.
+	for _, u := range []trace.UserID{"u1", "u2", "u3"} {
+		tr.Sessions = append(tr.Sessions, trace.Session{
+			User: u, AP: "ap1", Controller: "c1",
+			ConnectAt: 100, DisconnectAt: 500, Bytes: 400,
+		})
+	}
+	b := &batcher{}
+	res, err := Simulate(tr, Config{
+		SelectorFor: func(trace.ControllerID, []trace.AP) Selector { return b },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.batches != 1 {
+		t.Errorf("batches = %d, want 1", b.batches)
+	}
+	perAP := map[trace.APID]int{}
+	for _, a := range res.Domains["c1"].Assigned {
+		perAP[a.AP]++
+	}
+	if perAP["ap1"] != 2 || perAP["ap2"] != 1 {
+		t.Errorf("round-robin batch = %v", perAP)
+	}
+}
+
+func TestSimulateBatchWindow(t *testing.T) {
+	tr := &trace.Trace{Topology: twoAPTopology()}
+	// Arrivals 30s apart: batched only when the window allows.
+	tr.Sessions = []trace.Session{
+		{User: "u1", AP: "ap1", Controller: "c1", ConnectAt: 0, DisconnectAt: 500, Bytes: 100},
+		{User: "u2", AP: "ap1", Controller: "c1", ConnectAt: 30, DisconnectAt: 500, Bytes: 100},
+	}
+	b := &batcher{}
+	if _, err := Simulate(tr, Config{
+		BatchWindowSeconds: 60,
+		SelectorFor:        func(trace.ControllerID, []trace.AP) Selector { return b },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b.batches != 1 {
+		t.Errorf("batches with 60s window = %d, want 1", b.batches)
+	}
+	b2 := &batcher{}
+	if _, err := Simulate(tr, Config{
+		BatchWindowSeconds: 0,
+		SelectorFor:        func(trace.ControllerID, []trace.AP) Selector { return b2 },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b2.batches != 0 {
+		t.Errorf("batches with 0s window = %d, want 0 (single arrivals)", b2.batches)
+	}
+}
+
+func TestSimulateFailureInjection(t *testing.T) {
+	tr := &trace.Trace{Topology: twoAPTopology()}
+	tr.Sessions = []trace.Session{
+		// u1 lands on ap1 (least loaded tie-break) and would stay until
+		// t=1000, but ap1 fails at t=500.
+		{User: "u1", AP: "ap1", Controller: "c1", ConnectAt: 0, DisconnectAt: 1000, Bytes: 1000},
+		// u2 arrives during the outage and must land on ap2.
+		{User: "u2", AP: "ap1", Controller: "c1", ConnectAt: 600, DisconnectAt: 800, Bytes: 100},
+	}
+	res, err := Simulate(tr, Config{
+		SelectorFor: func(trace.ControllerID, []trace.AP) Selector { return llf{} },
+		Failures:    []Failure{{AP: "ap1", From: 500, To: 900}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Domains["c1"]
+	var u1, u2 Assignment
+	for _, a := range d.Assigned {
+		switch a.Session.User {
+		case "u1":
+			u1 = a
+		case "u2":
+			u2 = a
+		}
+	}
+	if u1.AP != "ap1" {
+		t.Fatalf("u1 on %v, want ap1", u1.AP)
+	}
+	if u1.Session.DisconnectAt != 500 {
+		t.Errorf("u1 truncated at %d, want 500", u1.Session.DisconnectAt)
+	}
+	if u1.Session.Bytes != 500 {
+		t.Errorf("u1 served bytes = %d, want 500 (half)", u1.Session.Bytes)
+	}
+	if u2.AP != "ap2" {
+		t.Errorf("u2 on %v, want ap2 (ap1 failed)", u2.AP)
+	}
+}
+
+func TestSyntheticRSSIStable(t *testing.T) {
+	a := syntheticRSSI("user1", "ap1")
+	b := syntheticRSSI("user1", "ap1")
+	if a != b {
+		t.Error("RSSI should be deterministic")
+	}
+	if a < -90 || a > -30 {
+		t.Errorf("RSSI %v out of range", a)
+	}
+	// Different pairs usually differ.
+	if syntheticRSSI("user1", "ap1") == syntheticRSSI("user1", "ap2") &&
+		syntheticRSSI("user2", "ap1") == syntheticRSSI("user2", "ap2") {
+		t.Error("suspiciously identical RSSI across APs")
+	}
+}
+
+func TestAPViewHasCapacityFor(t *testing.T) {
+	v := APView{CapacityBps: 100, LoadBps: 60}
+	if !v.HasCapacityFor(40) {
+		t.Error("exactly-full should fit")
+	}
+	if v.HasCapacityFor(41) {
+		t.Error("over-full should not fit")
+	}
+	unconstrained := APView{CapacityBps: 0, LoadBps: 1e12}
+	if !unconstrained.HasCapacityFor(1e12) {
+		t.Error("zero capacity means unconstrained")
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	tr := &trace.Trace{Topology: twoAPTopology()}
+	tr.Sessions = []trace.Session{
+		{User: "u1", AP: "ap1", Controller: "c1", ConnectAt: 0, DisconnectAt: 100, Bytes: 100},
+		{User: "u2", AP: "ap1", Controller: "c1", ConnectAt: 10, DisconnectAt: 90, Bytes: 100},
+		{User: "u3", AP: "ap1", Controller: "c1", ConnectAt: 200, DisconnectAt: 300, Bytes: 100},
+	}
+	res, err := Simulate(tr, Config{
+		SelectorFor: func(trace.ControllerID, []trace.AP) Selector { return llf{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats()
+	if st.Assignments != 3 {
+		t.Errorf("assignments = %d, want 3", st.Assignments)
+	}
+	if st.PerDomain["c1"] != 3 {
+		t.Errorf("per-domain = %v", st.PerDomain)
+	}
+	// u1 and u2 overlap: peak concurrency 2.
+	if st.PeakConcurrency != 2 {
+		t.Errorf("peak concurrency = %d, want 2", st.PeakConcurrency)
+	}
+	if st.BusiestAPCount < 1 || st.BusiestAP == "" {
+		t.Errorf("busiest AP missing: %+v", st)
+	}
+	if st.String() == "" {
+		t.Error("String empty")
+	}
+}
