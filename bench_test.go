@@ -5,6 +5,9 @@
 //	go test -bench=. -benchmem
 //
 // reproduces every result (see EXPERIMENTS.md for paper-vs-measured).
+// Sweep benchmarks run on the internal/runner worker pool (all cores) and
+// additionally report per-stage wall time (training, simulation, batch
+// placement) as <stage>-ms/op, read from internal/obs snapshot deltas.
 package s3wlan_test
 
 import (
@@ -14,6 +17,7 @@ import (
 	"github.com/s3wlan/s3wlan/internal/analysis"
 	"github.com/s3wlan/s3wlan/internal/apps"
 	"github.com/s3wlan/s3wlan/internal/experiments"
+	"github.com/s3wlan/s3wlan/internal/obs"
 	"github.com/s3wlan/s3wlan/internal/synth"
 	"github.com/s3wlan/s3wlan/internal/trace"
 )
@@ -52,6 +56,18 @@ func benchSetup(b *testing.B) (*trace.Trace, *apps.ProfileStore, *experiments.Da
 		b.Fatal(benchErr)
 	}
 	return benchTrace, benchProfiles, benchData
+}
+
+// reportStages attaches per-stage wall time to a benchmark: the delta of
+// each named obs histogram across the timed section, divided by b.N.
+// before must be an obs.TakeSnapshot() taken right after b.ResetTimer().
+func reportStages(b *testing.B, before obs.Snapshot, stages ...string) {
+	b.Helper()
+	after := obs.TakeSnapshot()
+	for _, s := range stages {
+		delta := after.Histograms[s].TotalMS - before.Histograms[s].TotalMS
+		b.ReportMetric(delta/float64(b.N), s+"-ms/op")
+	}
 }
 
 // BenchmarkFig2 regenerates the CDF of the normalized balance index under
@@ -186,6 +202,7 @@ func BenchmarkFig10(b *testing.B) {
 	_, _, data := benchSetup(b)
 	var best float64
 	b.ResetTimer()
+	before := obs.TakeSnapshot()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig10(data, []int64{60, 300, 600}, []float64{0.3})
 		if err != nil {
@@ -193,6 +210,7 @@ func BenchmarkFig10(b *testing.B) {
 		}
 		best = float64(res.BestInterval) / 60
 	}
+	reportStages(b, before, "society.train", "wlan.simulate")
 	b.ReportMetric(best, "best-interval-min")
 }
 
@@ -201,6 +219,7 @@ func BenchmarkFig11(b *testing.B) {
 	_, _, data := benchSetup(b)
 	var plateau float64
 	b.ResetTimer()
+	before := obs.TakeSnapshot()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig11(data, []int{1, 5, 9, 11}, []float64{0.3})
 		if err != nil {
@@ -208,6 +227,7 @@ func BenchmarkFig11(b *testing.B) {
 		}
 		plateau = float64(res.PlateauDays)
 	}
+	reportStages(b, before, "society.train", "wlan.simulate")
 	b.ReportMetric(plateau, "plateau-days")
 }
 
@@ -216,6 +236,7 @@ func BenchmarkFig12(b *testing.B) {
 	_, _, data := benchSetup(b)
 	var gain, peakGain, errBar float64
 	b.ResetTimer()
+	before := obs.TakeSnapshot()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig12(data)
 		if err != nil {
@@ -225,6 +246,7 @@ func BenchmarkFig12(b *testing.B) {
 		peakGain = res.LeavePeakGainPercent
 		errBar = res.ErrorBarReductionPercent
 	}
+	reportStages(b, before, "society.train", "wlan.simulate", "core.batch.place")
 	b.ReportMetric(gain, "%gain")
 	b.ReportMetric(peakGain, "%peak-gain")
 	b.ReportMetric(errBar, "%errbar-reduction")
@@ -235,6 +257,7 @@ func BenchmarkAblationStaleness(b *testing.B) {
 	_, _, data := benchSetup(b)
 	var staleGain float64
 	b.ResetTimer()
+	before := obs.TakeSnapshot()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.AblationStaleness(data, []int64{0, 300})
 		if err != nil {
@@ -242,6 +265,7 @@ func BenchmarkAblationStaleness(b *testing.B) {
 		}
 		staleGain = (res.S3Means[1] - res.LLFMeans[1]) / res.LLFMeans[1] * 100
 	}
+	reportStages(b, before, "wlan.simulate")
 	b.ReportMetric(staleGain, "%gain@300s")
 }
 
@@ -250,6 +274,7 @@ func BenchmarkAblationBaselines(b *testing.B) {
 	_, _, data := benchSetup(b)
 	var s3 float64
 	b.ResetTimer()
+	before := obs.TakeSnapshot()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.AblationBaselines(data)
 		if err != nil {
@@ -257,5 +282,6 @@ func BenchmarkAblationBaselines(b *testing.B) {
 		}
 		s3 = res.S3Mean
 	}
+	reportStages(b, before, "wlan.simulate")
 	b.ReportMetric(s3, "s3-balance")
 }

@@ -1,14 +1,19 @@
 // Command s3analyze reproduces the paper's measurement study (Section III)
-// on a trace: Figs. 2–8 and Table I.
+// on a trace: Figs. 2–8 and Table I. With -all the independent figures
+// fan out over a worker pool (-workers); each figure renders into its own
+// buffer and the buffers print in figure order, so parallel output is
+// byte-identical to a serial run.
 //
 // Usage:
 //
 //	s3analyze -trace campus.jsonl -all
 //	s3analyze -trace campus.jsonl -fig 5
-//	s3analyze -generate -fig 7          # generate a default campus first
+//	s3analyze -generate -fig 7               # generate a default campus first
+//	s3analyze -generate -all -workers 8 -progress -obs obs.json
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -18,6 +23,8 @@ import (
 
 	"github.com/s3wlan/s3wlan/internal/analysis"
 	"github.com/s3wlan/s3wlan/internal/apps"
+	"github.com/s3wlan/s3wlan/internal/obs"
+	"github.com/s3wlan/s3wlan/internal/runner"
 	"github.com/s3wlan/s3wlan/internal/synth"
 	"github.com/s3wlan/s3wlan/internal/trace"
 )
@@ -29,7 +36,24 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// writeObs dumps the process's observability registry as JSON to path
+// ("-" writes to w, the command's stdout).
+func writeObs(path string, w io.Writer) error {
+	if path == "-" {
+		return obs.WriteJSON(w)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("s3analyze", flag.ContinueOnError)
 	var (
 		tracePath = fs.String("trace", "", "input trace (JSON-lines); empty with -generate")
@@ -40,6 +64,13 @@ func run(args []string, out io.Writer) error {
 		all       = fs.Bool("all", false, "run every analysis")
 		epoch     = fs.Int64("epoch", 0, "trace epoch (Unix seconds of day 0)")
 		csvDir    = fs.String("csvdir", "", "also write each result as CSV into this directory")
+
+		workers    = fs.Int("workers", 0, "parallel figure workers (0 = GOMAXPROCS; 1 = serial)")
+		progress   = fs.Bool("progress", false, "report per-figure progress to stderr")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		obsPath    = fs.String("obs", "", `write observability counters/timers as JSON to this file ("-" = stdout)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,6 +78,23 @@ func run(args []string, out io.Writer) error {
 	if !*all && *fig == 0 && *table == 0 {
 		return errors.New("nothing to do: pass -all, -fig N or -table 1")
 	}
+
+	stopProfiling, err := obs.StartProfiling(obs.ProfileConfig{
+		CPUFile: *cpuprofile, MemFile: *memprofile, HTTPAddr: *pprofAddr,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiling(); perr != nil && err == nil {
+			err = perr
+		}
+		if *obsPath != "" {
+			if oerr := writeObs(*obsPath, out); oerr != nil && err == nil {
+				err = oerr
+			}
+		}
+	}()
 
 	tr, err := loadOrGenerate(*tracePath, *generate, *seed)
 	if err != nil {
@@ -71,88 +119,143 @@ func run(args []string, out io.Writer) error {
 		return result.WriteCSV(f)
 	}
 
+	// Each figure job renders into its own buffer; the buffers print in
+	// submission order after the pool drains, so output order (and every
+	// byte of it) matches a serial run.
+	type figJob struct {
+		name string
+		run  func(w io.Writer) error
+	}
+	var jobs []figJob
+	addFig := func(name string, f func(w io.Writer) error) {
+		jobs = append(jobs, figJob{name: name, run: f})
+	}
+
 	if runFig(2) {
-		res, err := analysis.Fig2(tr, *epoch)
-		if err != nil {
-			return fmt.Errorf("fig 2: %w", err)
-		}
-		fmt.Fprintln(out, res.Render())
-		if err := writeCSV("fig2", res); err != nil {
-			return fmt.Errorf("fig 2 csv: %w", err)
-		}
+		addFig("fig2", func(w io.Writer) error {
+			res, err := analysis.Fig2(tr, *epoch)
+			if err != nil {
+				return fmt.Errorf("fig 2: %w", err)
+			}
+			fmt.Fprintln(w, res.Render())
+			if err := writeCSV("fig2", res); err != nil {
+				return fmt.Errorf("fig 2 csv: %w", err)
+			}
+			return nil
+		})
 	}
 	if runFig(3) {
-		res, err := analysis.Fig3(tr, nil)
-		if err != nil {
-			return fmt.Errorf("fig 3: %w", err)
-		}
-		fmt.Fprintln(out, res.Render())
-		if err := writeCSV("fig3", res); err != nil {
-			return fmt.Errorf("fig 3 csv: %w", err)
-		}
+		addFig("fig3", func(w io.Writer) error {
+			res, err := analysis.Fig3(tr, nil)
+			if err != nil {
+				return fmt.Errorf("fig 3: %w", err)
+			}
+			fmt.Fprintln(w, res.Render())
+			if err := writeCSV("fig3", res); err != nil {
+				return fmt.Errorf("fig 3 csv: %w", err)
+			}
+			return nil
+		})
 	}
 	if runFig(4) {
-		res, err := analysis.Fig4(tr, *epoch, 1, 600)
-		if err != nil {
-			return fmt.Errorf("fig 4: %w", err)
-		}
-		fmt.Fprintln(out, res.Render())
-		if err := writeCSV("fig4", res); err != nil {
-			return fmt.Errorf("fig 4 csv: %w", err)
-		}
+		addFig("fig4", func(w io.Writer) error {
+			res, err := analysis.Fig4(tr, *epoch, 1, 600)
+			if err != nil {
+				return fmt.Errorf("fig 4: %w", err)
+			}
+			fmt.Fprintln(w, res.Render())
+			if err := writeCSV("fig4", res); err != nil {
+				return fmt.Errorf("fig 4 csv: %w", err)
+			}
+			return nil
+		})
 	}
 	if runFig(5) {
-		res, err := analysis.Fig5(tr, nil)
-		if err != nil {
-			return fmt.Errorf("fig 5: %w", err)
-		}
-		fmt.Fprintln(out, res.Render())
-		if err := writeCSV("fig5", res); err != nil {
-			return fmt.Errorf("fig 5 csv: %w", err)
-		}
+		addFig("fig5", func(w io.Writer) error {
+			res, err := analysis.Fig5(tr, nil)
+			if err != nil {
+				return fmt.Errorf("fig 5: %w", err)
+			}
+			fmt.Fprintln(w, res.Render())
+			if err := writeCSV("fig5", res); err != nil {
+				return fmt.Errorf("fig 5 csv: %w", err)
+			}
+			return nil
+		})
 	}
 	if runFig(6) {
-		res, err := analysis.Fig6(profiles, 30)
-		if err != nil {
-			return fmt.Errorf("fig 6: %w", err)
-		}
-		fmt.Fprintln(out, res.Render())
-		if err := writeCSV("fig6", res); err != nil {
-			return fmt.Errorf("fig 6 csv: %w", err)
-		}
+		addFig("fig6", func(w io.Writer) error {
+			res, err := analysis.Fig6(profiles, 30)
+			if err != nil {
+				return fmt.Errorf("fig 6: %w", err)
+			}
+			fmt.Fprintln(w, res.Render())
+			if err := writeCSV("fig6", res); err != nil {
+				return fmt.Errorf("fig 6 csv: %w", err)
+			}
+			return nil
+		})
 	}
 	if runFig(7) {
-		res, err := analysis.Fig7(profiles, 10, *seed)
-		if err != nil {
-			return fmt.Errorf("fig 7: %w", err)
-		}
-		fmt.Fprintln(out, res.Render())
-		if err := writeCSV("fig7", res); err != nil {
-			return fmt.Errorf("fig 7 csv: %w", err)
-		}
+		addFig("fig7", func(w io.Writer) error {
+			res, err := analysis.Fig7(profiles, 10, *seed)
+			if err != nil {
+				return fmt.Errorf("fig 7: %w", err)
+			}
+			fmt.Fprintln(w, res.Render())
+			if err := writeCSV("fig7", res); err != nil {
+				return fmt.Errorf("fig 7 csv: %w", err)
+			}
+			return nil
+		})
 	}
-	needFig8 := runFig(8) || *all || *table == 1
-	var fig8 *analysis.Fig8Result
-	if needFig8 {
-		fig8, err = analysis.Fig8(profiles, 4, *seed)
-		if err != nil {
-			return fmt.Errorf("fig 8: %w", err)
-		}
+	// Table I consumes the Fig 8 clustering, so the two stay one job.
+	if runFig(8) || *table == 1 {
+		showFig8 := runFig(8)
+		showTable := *all || *table == 1
+		addFig("fig8+table1", func(w io.Writer) error {
+			fig8, err := analysis.Fig8(profiles, 4, *seed)
+			if err != nil {
+				return fmt.Errorf("fig 8: %w", err)
+			}
+			if showFig8 {
+				fmt.Fprintln(w, fig8.Render())
+				if err := writeCSV("fig8", fig8); err != nil {
+					return fmt.Errorf("fig 8 csv: %w", err)
+				}
+			}
+			if showTable {
+				res, err := analysis.Table1(tr, fig8, 300, 600)
+				if err != nil {
+					return fmt.Errorf("table 1: %w", err)
+				}
+				fmt.Fprintln(w, res.Render())
+				if err := writeCSV("table1", res); err != nil {
+					return fmt.Errorf("table 1 csv: %w", err)
+				}
+			}
+			return nil
+		})
 	}
-	if runFig(8) {
-		fmt.Fprintln(out, fig8.Render())
-		if err := writeCSV("fig8", fig8); err != nil {
-			return fmt.Errorf("fig 8 csv: %w", err)
-		}
+
+	var progressW io.Writer
+	if *progress {
+		progressW = os.Stderr
 	}
-	if *all || *table == 1 {
-		res, err := analysis.Table1(tr, fig8, 300, 600)
-		if err != nil {
-			return fmt.Errorf("table 1: %w", err)
+	rcfg := runner.Config{Workers: *workers, Progress: progressW, Label: "analyze", Seed: *seed}
+	outputs, _, err := runner.Map(rcfg, jobs, func(_ *runner.Ctx, j figJob) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := j.run(&buf); err != nil {
+			return nil, err
 		}
-		fmt.Fprintln(out, res.Render())
-		if err := writeCSV("table1", res); err != nil {
-			return fmt.Errorf("table 1 csv: %w", err)
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range outputs {
+		if _, err := out.Write(b); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -6,6 +6,7 @@
 //	s3model -train -trace campus.jsonl -out model.json      # batch train
 //	s3model -train -generate -out model.json                # from synthetic campus
 //	s3model -inspect model.json                             # structure report
+//	s3model -train -generate -cpuprofile cpu.prof -obs -    # profile training
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"github.com/s3wlan/s3wlan/internal/analysis"
 	"github.com/s3wlan/s3wlan/internal/apps"
+	"github.com/s3wlan/s3wlan/internal/obs"
 	"github.com/s3wlan/s3wlan/internal/socialgraph"
 	"github.com/s3wlan/s3wlan/internal/society"
 	"github.com/s3wlan/s3wlan/internal/synth"
@@ -50,7 +52,24 @@ func writeDOT(path string, model *society.Model, threshold float64) (err error) 
 	return g.WriteDOT(f, "s3")
 }
 
-func run(args []string, out io.Writer) error {
+// writeObs dumps the process's observability registry as JSON to path
+// ("-" writes to w, the command's stdout).
+func writeObs(path string, w io.Writer) error {
+	if path == "-" {
+		return obs.WriteJSON(w)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("s3model", flag.ContinueOnError)
 	var (
 		train     = fs.Bool("train", false, "train a model")
@@ -65,10 +84,32 @@ func run(args []string, out io.Writer) error {
 		history   = fs.Int("history", 15, "training history in days (0 = all)")
 		threshold = fs.Float64("threshold", 0.3, "close-relationship θ cut for -inspect")
 		dotPath   = fs.String("dot", "", "also write the θ-graph as Graphviz DOT (with -inspect)")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		obsPath    = fs.String("obs", "", `write observability counters/timers as JSON to this file ("-" = stdout)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProfiling, err := obs.StartProfiling(obs.ProfileConfig{
+		CPUFile: *cpuprofile, MemFile: *memprofile, HTTPAddr: *pprofAddr,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiling(); perr != nil && err == nil {
+			err = perr
+		}
+		if *obsPath != "" {
+			if oerr := writeObs(*obsPath, out); oerr != nil && err == nil {
+				err = oerr
+			}
+		}
+	}()
 
 	switch {
 	case *train:

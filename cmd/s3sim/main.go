@@ -1,12 +1,15 @@
 // Command s3sim runs the paper's evaluation (Section V): trace-driven
 // simulation of S³ against LLF, reproducing Figs. 10–12, plus the
-// repository's ablation studies.
+// repository's ablation studies. Sweeps and ablation grids fan out over
+// a deterministic worker pool (-workers); profiling and observability
+// flags expose where the time goes.
 //
 // Usage:
 //
 //	s3sim -generate -fig 12
 //	s3sim -trace campus.jsonl -train 28 -all
-//	s3sim -generate -ablation staleness
+//	s3sim -generate -ablation staleness -workers 8 -progress
+//	s3sim -generate -all -cpuprofile cpu.prof -obs obs.json
 package main
 
 import (
@@ -18,6 +21,8 @@ import (
 	"path/filepath"
 
 	"github.com/s3wlan/s3wlan/internal/experiments"
+	"github.com/s3wlan/s3wlan/internal/obs"
+	"github.com/s3wlan/s3wlan/internal/runner"
 	"github.com/s3wlan/s3wlan/internal/synth"
 	"github.com/s3wlan/s3wlan/internal/trace"
 )
@@ -29,7 +34,24 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// writeObs dumps the process's observability registry as JSON to path
+// ("-" writes to w, the command's stdout).
+func writeObs(path string, w io.Writer) error {
+	if path == "-" {
+		return obs.WriteJSON(w)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("s3sim", flag.ContinueOnError)
 	var (
 		tracePath = fs.String("trace", "", "input trace (JSON-lines); empty with -generate")
@@ -45,12 +67,41 @@ func run(args []string, out io.Writer) error {
 		ablation  = fs.String("ablation", "", "ablation to run: baselines, staleness, guard, batch, metrics, temporal or all")
 		csvDir    = fs.String("csvdir", "", "also write each result as CSV into this directory")
 		replicate = fs.Int("replicate", 0, "replicate Fig 12 over N seeds (robustness)")
+
+		workers    = fs.Int("workers", 0, "parallel sweep/ablation workers (0 = GOMAXPROCS; 1 = serial)")
+		progress   = fs.Bool("progress", false, "report per-cell progress to stderr")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		obsPath    = fs.String("obs", "", `write observability counters/timers as JSON to this file ("-" = stdout)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if !*all && *fig == 0 && *ablation == "" && *replicate == 0 {
 		return errors.New("nothing to do: pass -all, -fig N, -ablation <name> or -replicate N")
+	}
+
+	stopProfiling, err := obs.StartProfiling(obs.ProfileConfig{
+		CPUFile: *cpuprofile, MemFile: *memprofile, HTTPAddr: *pprofAddr,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiling(); perr != nil && err == nil {
+			err = perr
+		}
+		if *obsPath != "" {
+			if oerr := writeObs(*obsPath, out); oerr != nil && err == nil {
+				err = oerr
+			}
+		}
+	}()
+
+	var progressW io.Writer
+	if *progress {
+		progressW = os.Stderr
 	}
 
 	cfg := synth.DefaultConfig()
@@ -61,7 +112,6 @@ func run(args []string, out io.Writer) error {
 	cfg.Days = *days
 
 	var data *experiments.Data
-	var err error
 	switch {
 	case *generate:
 		data, err = experiments.Prepare(cfg, *trainDays)
@@ -77,6 +127,8 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	data.Workers = *workers
+	data.Progress = progressW
 	fmt.Fprintf(out, "prepared: %d training sessions, %d test sessions\n\n",
 		len(data.Train.Sessions), len(data.Test.Sessions))
 
@@ -146,7 +198,8 @@ func run(args []string, out io.Writer) error {
 		for i := range seeds {
 			seeds[i] = *seed + int64(i)
 		}
-		res, err := experiments.ReplicateFig12(cfg, *trainDays, seeds)
+		rcfg := runner.Config{Workers: *workers, Progress: progressW, Seed: *seed}
+		res, err := experiments.ReplicateFig12(cfg, *trainDays, seeds, rcfg)
 		if err != nil {
 			return fmt.Errorf("replicate: %w", err)
 		}

@@ -5,11 +5,27 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/s3wlan/s3wlan/internal/metrics"
+	"github.com/s3wlan/s3wlan/internal/obs"
 	"github.com/s3wlan/s3wlan/internal/socialgraph"
 	"github.com/s3wlan/s3wlan/internal/trace"
 	"github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+// Observability of the selector hot path. Counters are atomic and
+// always on; the histogram is observed once per batch placement, not
+// per candidate, so the beam search itself stays allocation-free.
+var (
+	obsSelects       = obs.GetCounter("core.select.calls")
+	obsGuardFallback = obs.GetCounter("core.select.guard_fallbacks")
+	obsBatches       = obs.GetCounter("core.batch.calls")
+	obsBatchUsers    = obs.GetCounter("core.batch.users")
+	obsCliques       = obs.GetCounter("core.batch.cliques")
+	obsBeamCands     = obs.GetCounter("core.beam.candidates")
+	obsExhaustive    = obs.GetCounter("core.beam.exhaustive_cliques")
+	obsBatchTime     = obs.GetHistogram("core.batch.place")
 )
 
 // SocialIndex supplies the social relation index θ(u,v) between two users.
@@ -131,6 +147,7 @@ func (s *Selector) Select(req wlan.Request, aps []wlan.APView) (trace.APID, erro
 	if len(aps) == 0 {
 		return "", ErrNoAPs
 	}
+	obsSelects.Inc()
 	// The balance guard: social preference may not pick an AP whose load
 	// is too far above the domain minimum, or the dispersal would cost
 	// more instantaneous imbalance than the co-leaving resilience buys.
@@ -163,6 +180,7 @@ func (s *Selector) Select(req wlan.Request, aps []wlan.APView) (trace.APID, erro
 		// No AP is both feasible and within the guard: fall back to the
 		// least-loaded feasible AP, and only overload when nothing can
 		// absorb the demand at all.
+		obsGuardFallback.Inc()
 		if len(feasibleAll) > 0 {
 			return leastLoaded(feasibleAll), nil
 		}
@@ -258,6 +276,10 @@ func (s *Selector) SelectBatch(reqs []wlan.Request, aps []wlan.APView) (map[trac
 	if len(reqs) == 0 {
 		return map[trace.UserID]trace.APID{}, nil
 	}
+	obsBatches.Inc()
+	obsBatchUsers.Add(int64(len(reqs)))
+	batchStart := time.Now()
+	defer func() { obsBatchTime.Observe(time.Since(batchStart)) }()
 
 	demands := make(map[trace.UserID]float64, len(reqs))
 	users := make([]trace.UserID, 0, len(reqs))
@@ -280,6 +302,7 @@ func (s *Selector) SelectBatch(reqs []wlan.Request, aps []wlan.APView) (map[trac
 		state[i].Users = append([]trace.UserID(nil), aps[i].Users...)
 	}
 
+	obsCliques.Add(int64(len(cover)))
 	out := make(map[trace.UserID]trace.APID, len(users))
 	for _, clique := range cover {
 		assignment, err := s.placeClique(clique, demands, state)
@@ -334,7 +357,13 @@ func (s *Selector) placeClique(clique []trace.UserID,
 	beamWidth := s.cfg.BeamWidth
 	if pow := intPow(len(state), len(members)); pow > 0 && pow <= exhaustiveLimit {
 		beamWidth = pow
+		obsExhaustive.Inc()
 	}
+
+	// One batched counter update per clique: candidates generated across
+	// all beam levels, accumulated locally to keep the loop atomic-free.
+	var candsGenerated int64
+	defer func() { obsBeamCands.Add(candsGenerated) }()
 
 	beam := []beamCandidate{{assign: nil, cost: 0, used: map[int]int{}}}
 	for mi, u := range members {
@@ -362,6 +391,7 @@ func (s *Selector) placeClique(clique []trace.UserID,
 				next = append(next, nc)
 			}
 		}
+		candsGenerated += int64(len(next))
 		sortCandidates(next)
 		if len(next) > beamWidth {
 			next = next[:beamWidth]

@@ -8,6 +8,17 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"time"
+
+	"github.com/s3wlan/s3wlan/internal/obs"
+)
+
+// Observability of the engine across all instances in the process.
+// Event counts are accumulated locally per RunUntil call and flushed
+// once, so the dispatch loop pays no per-event atomic operation.
+var (
+	obsEvents  = obs.GetCounter("eventsim.events")
+	obsRunTime = obs.GetHistogram("eventsim.run")
 )
 
 // Handler is the callback invoked when an event fires. The engine passes
@@ -135,6 +146,8 @@ func (e *Engine) ScheduleEvery(interval int64, handler Handler) error {
 // the queue drains early.
 func (e *Engine) RunUntil(horizon int64) int64 {
 	e.stopped = false
+	start := time.Now()
+	var fired int64
 	for len(e.queue) > 0 && !e.stopped {
 		next := e.queue[0]
 		if next.at > horizon {
@@ -143,7 +156,10 @@ func (e *Engine) RunUntil(horizon int64) int64 {
 		heap.Pop(&e.queue)
 		e.now = next.at
 		e.processed++
+		fired++
 		next.handler(e)
 	}
+	obsEvents.Add(fired)
+	obsRunTime.Observe(time.Since(start))
 	return e.now
 }

@@ -33,9 +33,10 @@ type AblationBaselinesResult struct {
 	S3Mean float64
 }
 
-// AblationBaselines runs the full baseline panel.
+// AblationBaselines runs the full baseline panel. The panel entries and
+// the S³ run are independent simulations, so they all run concurrently
+// on the experiment pool.
 func AblationBaselines(d *Data) (*AblationBaselinesResult, error) {
-	res := &AblationBaselinesResult{}
 	panel := []struct {
 		name    string
 		factory func(trace.ControllerID, []trace.AP) wlan.Selector
@@ -45,26 +46,41 @@ func AblationBaselines(d *Data) (*AblationBaselinesResult, error) {
 		{"StrongestRSSI", func(trace.ControllerID, []trace.AP) wlan.Selector { return baseline.StrongestRSSI{} }},
 		{"Random", func(trace.ControllerID, []trace.AP) wlan.Selector { return baseline.NewRandom(1) }},
 		{"RoundRobin", func(trace.ControllerID, []trace.AP) wlan.Selector { return &baseline.RoundRobin{} }},
+		{"S3", nil}, // sentinel: runs the S³ policy
 	}
-	for _, p := range panel {
-		sim, err := d.RunSelector(p.factory)
-		if err != nil {
-			return nil, fmt.Errorf("ablation baseline %s: %w", p.name, err)
+	res := &AblationBaselinesResult{}
+	jobs := make([]sweepJob, len(panel))
+	means := make([]float64, len(panel))
+	for i, p := range panel {
+		i, p := i, p
+		jobs[i] = sweepJob{
+			name: p.name,
+			run: func() (float64, error) {
+				var sim *wlan.Result
+				var err error
+				if p.factory == nil {
+					sim, err = d.RunS3(society.DefaultConfig(), core.DefaultSelectorConfig())
+				} else {
+					sim, err = d.RunSelector(p.factory)
+				}
+				if err != nil {
+					return 0, fmt.Errorf("ablation baseline %s: %w", p.name, err)
+				}
+				return MeanBalance(sim)
+			},
+			store: func(v float64) { means[i] = v },
 		}
-		mean, err := MeanBalance(sim)
-		if err != nil {
-			return nil, err
+	}
+	if err := d.runSweep("ablation-baselines", jobs); err != nil {
+		return nil, err
+	}
+	for i, p := range panel {
+		if p.factory == nil {
+			res.S3Mean = means[i]
+			continue
 		}
 		res.Policies = append(res.Policies, p.name)
-		res.Means = append(res.Means, mean)
-	}
-	s3Sim, err := d.RunS3(society.DefaultConfig(), core.DefaultSelectorConfig())
-	if err != nil {
-		return nil, err
-	}
-	res.S3Mean, err = MeanBalance(s3Sim)
-	if err != nil {
-		return nil, err
+		res.Means = append(res.Means, means[i])
 	}
 	return res, nil
 }
@@ -94,36 +110,48 @@ type AblationStalenessResult struct {
 	LLFMeans         []float64
 }
 
-// AblationStaleness sweeps the report interval for both policies. The
-// data's interval is restored afterwards.
+// AblationStaleness sweeps the report interval for both policies. Each
+// cell runs on a private shallow copy of the dataset (the trace and
+// training artifacts are shared read-only), so all interval × policy
+// combinations execute concurrently and d itself is never mutated.
 func AblationStaleness(d *Data, intervals []int64) (*AblationStalenessResult, error) {
 	if len(intervals) == 0 {
 		intervals = []int64{0, 60, 180, 300, 600}
 	}
-	saved := d.ReportIntervalSeconds
-	defer func() { d.ReportIntervalSeconds = saved }()
-
-	res := &AblationStalenessResult{IntervalsSeconds: intervals}
-	for _, iv := range intervals {
-		d.ReportIntervalSeconds = iv
-		s3Sim, err := d.RunS3(society.DefaultConfig(), core.DefaultSelectorConfig())
-		if err != nil {
-			return nil, fmt.Errorf("ablation staleness %ds: %w", iv, err)
-		}
-		s3Mean, err := MeanBalance(s3Sim)
-		if err != nil {
-			return nil, err
-		}
-		llfSim, err := d.RunLLF()
-		if err != nil {
-			return nil, err
-		}
-		llfMean, err := MeanBalance(llfSim)
-		if err != nil {
-			return nil, err
-		}
-		res.S3Means = append(res.S3Means, s3Mean)
-		res.LLFMeans = append(res.LLFMeans, llfMean)
+	res := &AblationStalenessResult{
+		IntervalsSeconds: intervals,
+		S3Means:          make([]float64, len(intervals)),
+		LLFMeans:         make([]float64, len(intervals)),
+	}
+	jobs := make([]sweepJob, 0, 2*len(intervals))
+	for i, iv := range intervals {
+		i, iv := i, iv
+		cell := *d // private copy: only the report interval differs
+		cell.ReportIntervalSeconds = iv
+		jobs = append(jobs, sweepJob{
+			name: fmt.Sprintf("S3 interval=%ds", iv),
+			run: func() (float64, error) {
+				sim, err := cell.RunS3(society.DefaultConfig(), core.DefaultSelectorConfig())
+				if err != nil {
+					return 0, fmt.Errorf("ablation staleness %ds: %w", iv, err)
+				}
+				return MeanBalance(sim)
+			},
+			store: func(v float64) { res.S3Means[i] = v },
+		}, sweepJob{
+			name: fmt.Sprintf("LLF interval=%ds", iv),
+			run: func() (float64, error) {
+				sim, err := cell.RunLLF()
+				if err != nil {
+					return 0, fmt.Errorf("ablation staleness %ds: %w", iv, err)
+				}
+				return MeanBalance(sim)
+			},
+			store: func(v float64) { res.LLFMeans[i] = v },
+		})
+	}
+	if err := d.runSweep("ablation-staleness", jobs); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -159,19 +187,26 @@ func AblationGuard(d *Data, guards []float64) (*AblationGuardResult, error) {
 	if len(guards) == 0 {
 		guards = []float64{0.1, 0.25, 0.5, 1, 2, 100}
 	}
-	res := &AblationGuardResult{Guards: guards}
-	for _, g := range guards {
-		cfg := core.DefaultSelectorConfig()
-		cfg.BalanceGuard = g
-		sim, err := d.RunS3(society.DefaultConfig(), cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ablation guard %v: %w", g, err)
+	res := &AblationGuardResult{Guards: guards, Means: make([]float64, len(guards))}
+	jobs := make([]sweepJob, len(guards))
+	for i, g := range guards {
+		i, g := i, g
+		jobs[i] = sweepJob{
+			name: fmt.Sprintf("guard=%v", g),
+			run: func() (float64, error) {
+				cfg := core.DefaultSelectorConfig()
+				cfg.BalanceGuard = g
+				sim, err := d.RunS3(society.DefaultConfig(), cfg)
+				if err != nil {
+					return 0, fmt.Errorf("ablation guard %v: %w", g, err)
+				}
+				return MeanBalance(sim)
+			},
+			store: func(v float64) { res.Means[i] = v },
 		}
-		mean, err := MeanBalance(sim)
-		if err != nil {
-			return nil, err
-		}
-		res.Means = append(res.Means, mean)
+	}
+	if err := d.runSweep("ablation-guard", jobs); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -194,27 +229,36 @@ type AblationBatchWindowResult struct {
 }
 
 // AblationBatchWindow sweeps the Algorithm 1 batching window; 0 disables
-// joint placement (purely online decisions). The data's window is
-// restored afterwards.
+// joint placement (purely online decisions). Each cell runs on a
+// private shallow copy of the dataset, so the sweep parallelizes and d
+// is never mutated.
 func AblationBatchWindow(d *Data, windows []int64) (*AblationBatchWindowResult, error) {
 	if len(windows) == 0 {
 		windows = []int64{0, 30, 60, 120, 300}
 	}
-	saved := d.BatchWindowSeconds
-	defer func() { d.BatchWindowSeconds = saved }()
-
-	res := &AblationBatchWindowResult{WindowsSeconds: windows}
-	for _, w := range windows {
-		d.BatchWindowSeconds = w
-		sim, err := d.RunS3(society.DefaultConfig(), core.DefaultSelectorConfig())
-		if err != nil {
-			return nil, fmt.Errorf("ablation batch window %ds: %w", w, err)
+	res := &AblationBatchWindowResult{
+		WindowsSeconds: windows,
+		Means:          make([]float64, len(windows)),
+	}
+	jobs := make([]sweepJob, len(windows))
+	for i, w := range windows {
+		i, w := i, w
+		cell := *d // private copy: only the batch window differs
+		cell.BatchWindowSeconds = w
+		jobs[i] = sweepJob{
+			name: fmt.Sprintf("window=%ds", w),
+			run: func() (float64, error) {
+				sim, err := cell.RunS3(society.DefaultConfig(), core.DefaultSelectorConfig())
+				if err != nil {
+					return 0, fmt.Errorf("ablation batch window %ds: %w", w, err)
+				}
+				return MeanBalance(sim)
+			},
+			store: func(v float64) { res.Means[i] = v },
 		}
-		mean, err := MeanBalance(sim)
-		if err != nil {
-			return nil, err
-		}
-		res.Means = append(res.Means, mean)
+	}
+	if err := d.runSweep("ablation-batch", jobs); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -243,19 +287,26 @@ func AblationTemporal(d *Data, weights []float64) (*AblationTemporalResult, erro
 	if len(weights) == 0 {
 		weights = []float64{0, 0.25, 0.5, 1}
 	}
-	res := &AblationTemporalResult{Weights: weights}
-	for _, w := range weights {
-		cfg := society.DefaultConfig()
-		cfg.TemporalWeight = w
-		sim, err := d.RunS3(cfg, core.DefaultSelectorConfig())
-		if err != nil {
-			return nil, fmt.Errorf("ablation temporal %v: %w", w, err)
+	res := &AblationTemporalResult{Weights: weights, Means: make([]float64, len(weights))}
+	jobs := make([]sweepJob, len(weights))
+	for i, w := range weights {
+		i, w := i, w
+		jobs[i] = sweepJob{
+			name: fmt.Sprintf("temporal=%v", w),
+			run: func() (float64, error) {
+				cfg := society.DefaultConfig()
+				cfg.TemporalWeight = w
+				sim, err := d.RunS3(cfg, core.DefaultSelectorConfig())
+				if err != nil {
+					return 0, fmt.Errorf("ablation temporal %v: %w", w, err)
+				}
+				return MeanBalance(sim)
+			},
+			store: func(v float64) { res.Means[i] = v },
 		}
-		mean, err := MeanBalance(sim)
-		if err != nil {
-			return nil, err
-		}
-		res.Means = append(res.Means, mean)
+	}
+	if err := d.runSweep("ablation-temporal", jobs); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

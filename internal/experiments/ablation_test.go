@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/runner"
 )
 
 func TestAblationBaselines(t *testing.T) {
@@ -118,7 +120,7 @@ func TestMetricPanel(t *testing.T) {
 }
 
 func TestReplicateFig12(t *testing.T) {
-	res, err := ReplicateFig12(smallCampus(), 9, []int64{1, 2, 3})
+	res, err := ReplicateFig12(smallCampus(), 9, []int64{1, 2, 3}, runner.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +137,7 @@ func TestReplicateFig12(t *testing.T) {
 	if !strings.Contains(res.Render(), "replicated") {
 		t.Error("Render missing title")
 	}
-	if _, err := ReplicateFig12(smallCampus(), 9, nil); err == nil {
+	if _, err := ReplicateFig12(smallCampus(), 9, nil, runner.Config{}); err == nil {
 		t.Error("no seeds should error")
 	}
 }

@@ -48,6 +48,7 @@ func Fig10(d *Data, intervals []int64, alphas []float64) (*Fig10Result, error) {
 			alpha, iv := alpha, iv
 			a, i := a, i
 			jobs = append(jobs, sweepJob{
+				name: fmt.Sprintf("interval=%ds α=%v", iv, alpha),
 				run: func() (float64, error) {
 					cfg := society.DefaultConfig()
 					cfg.CoLeaveWindowSeconds = iv
@@ -63,7 +64,7 @@ func Fig10(d *Data, intervals []int64, alphas []float64) (*Fig10Result, error) {
 			})
 		}
 	}
-	if err := runSweep(jobs); err != nil {
+	if err := d.runSweep("fig10", jobs); err != nil {
 		return nil, err
 	}
 	// Best interval at α = 0.3 (or the first swept series).
@@ -132,6 +133,7 @@ func Fig11(d *Data, historyDays []int, alphas []float64) (*Fig11Result, error) {
 			alpha, hd := alpha, hd
 			a, i := a, i
 			jobs = append(jobs, sweepJob{
+				name: fmt.Sprintf("history=%dd α=%v", hd, alpha),
 				run: func() (float64, error) {
 					cfg := society.DefaultConfig()
 					cfg.Alpha = alpha
@@ -146,7 +148,7 @@ func Fig11(d *Data, historyDays []int, alphas []float64) (*Fig11Result, error) {
 			})
 		}
 	}
-	if err := runSweep(jobs); err != nil {
+	if err := d.runSweep("fig11", jobs); err != nil {
 		return nil, err
 	}
 	curve03 := res.Mean[0]
@@ -224,14 +226,10 @@ type Fig12Result struct {
 	ErrorBarReductionPercent float64
 }
 
-// Fig12 runs both policies over the test split and compares them.
+// Fig12 runs both policies over the test split (concurrently, on the
+// experiment pool) and compares them.
 func Fig12(d *Data) (*Fig12Result, error) {
-	societyCfg := society.DefaultConfig()
-	s3Res, err := d.RunS3(societyCfg, core.DefaultSelectorConfig())
-	if err != nil {
-		return nil, err
-	}
-	llfRes, err := d.RunLLF()
+	s3Res, llfRes, err := d.RunS3AndLLF(society.DefaultConfig(), core.DefaultSelectorConfig(), "fig12")
 	if err != nil {
 		return nil, err
 	}

@@ -24,14 +24,10 @@ type MetricPanelResult struct {
 	S3, LLF []float64
 }
 
-// MetricPanel runs both policies once and evaluates every fairness metric
-// over the same active bins.
+// MetricPanel runs both policies once (concurrently, on the experiment
+// pool) and evaluates every fairness metric over the same active bins.
 func MetricPanel(d *Data) (*MetricPanelResult, error) {
-	s3Res, err := d.RunS3(society.DefaultConfig(), core.DefaultSelectorConfig())
-	if err != nil {
-		return nil, err
-	}
-	llfRes, err := d.RunLLF()
+	s3Res, llfRes, err := d.RunS3AndLLF(society.DefaultConfig(), core.DefaultSelectorConfig(), "metric-panel")
 	if err != nil {
 		return nil, err
 	}

@@ -9,12 +9,12 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
+	"io"
 
 	"github.com/s3wlan/s3wlan/internal/apps"
 	"github.com/s3wlan/s3wlan/internal/baseline"
 	"github.com/s3wlan/s3wlan/internal/core"
+	"github.com/s3wlan/s3wlan/internal/runner"
 	"github.com/s3wlan/s3wlan/internal/society"
 	"github.com/s3wlan/s3wlan/internal/stats"
 	"github.com/s3wlan/s3wlan/internal/synth"
@@ -39,6 +39,14 @@ type Data struct {
 	ReportIntervalSeconds int64
 	// BatchWindowSeconds groups co-arrivals for Algorithm 1 (default 60).
 	BatchWindowSeconds int64
+	// Workers bounds the concurrent sweep/ablation cells run on the
+	// experiment pool (internal/runner); <= 0 means GOMAXPROCS. Every
+	// cell owns its state, so parallel results are byte-identical to a
+	// serial run.
+	Workers int
+	// Progress, when non-nil, receives one line per completed cell
+	// (typically os.Stderr behind the CLIs' -progress flag).
+	Progress io.Writer
 }
 
 // Prepare generates the campus and builds the training artifacts. The
@@ -132,6 +140,22 @@ func (d *Data) RunLLF() (*wlan.Result, error) {
 		func(trace.ControllerID, []trace.AP) wlan.Selector { return baseline.LLF{} }))
 }
 
+// RunS3AndLLF runs both policies concurrently on the experiment pool and
+// returns their results in fixed (S³, LLF) order.
+func (d *Data) RunS3AndLLF(societyCfg society.Config, selCfg core.SelectorConfig, label string) (*wlan.Result, *wlan.Result, error) {
+	results, _, err := runner.Map(d.runnerConfig(label), []string{"S3", "LLF"},
+		func(_ *runner.Ctx, policy string) (*wlan.Result, error) {
+			if policy == "S3" {
+				return d.RunS3(societyCfg, selCfg)
+			}
+			return d.RunLLF()
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return results[0], results[1], nil
+}
+
 // RunSelector simulates the test trace under an arbitrary policy factory.
 func (d *Data) RunSelector(factory func(trace.ControllerID, []trace.AP) wlan.Selector) (*wlan.Result, error) {
 	return wlan.Simulate(d.Test, d.simConfig(factory))
@@ -196,64 +220,52 @@ func BalancesByHourFilter(res *wlan.Result, epoch int64, accept func(hour int) b
 	return out, nil
 }
 
-// sweepJob is one independent parameter-sweep run: run computes a value,
-// store records it (called on the coordinating goroutine only).
+// runnerConfig builds the pool configuration for one named sweep or
+// ablation over this dataset.
+func (d *Data) runnerConfig(label string) runner.Config {
+	return runner.Config{
+		Workers:  d.Workers,
+		Progress: d.Progress,
+		Label:    label,
+		Seed:     d.Campus.Seed,
+	}
+}
+
+// sweepJob is one independent parameter-sweep cell: run computes a value,
+// store records it into the cell's slot (called after every cell
+// finished, in submission order).
 type sweepJob struct {
+	name  string
 	run   func() (float64, error)
 	store func(float64)
 }
 
-// sweepParallelism bounds concurrent sweep runs. Each run re-trains a
-// sociality model and replays the test trace, so a handful in flight
-// saturates a typical machine without exhausting memory.
-var sweepParallelism = runtime.GOMAXPROCS(0)
-
-// runSweep executes the jobs with bounded parallelism. Results are stored
-// in deterministic positions (each job knows its slot), so the output is
-// identical to a serial sweep. The first error aborts the rest.
-func runSweep(jobs []sweepJob) error {
-	type outcome struct {
-		idx int
-		val float64
-		err error
-	}
-	n := sweepParallelism
-	if n < 1 {
-		n = 1
-	}
-	if n > len(jobs) {
-		n = len(jobs)
-	}
-	work := make(chan int)
-	results := make(chan outcome)
-	var wg sync.WaitGroup
-	for w := 0; w < n; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range work {
-				v, err := jobs[idx].run()
-				results <- outcome{idx: idx, val: v, err: err}
-			}
-		}()
-	}
-	go func() {
-		for i := range jobs {
-			work <- i
+// runSweep executes the cells on the experiment pool (internal/runner).
+// Each cell re-trains a sociality model and replays the test trace;
+// slot-stored results keep the output identical to a serial sweep for
+// any worker count.
+func (d *Data) runSweep(label string, jobs []sweepJob) error {
+	tasks := make([]runner.Task, len(jobs))
+	vals := make([]float64, len(jobs))
+	for i := range jobs {
+		i := i
+		tasks[i] = runner.Task{
+			Name: jobs[i].name,
+			Run: func(*runner.Ctx) error {
+				v, err := jobs[i].run()
+				if err != nil {
+					return err
+				}
+				vals[i] = v
+				return nil
+			},
 		}
-		close(work)
-		wg.Wait()
-		close(results)
-	}()
-	var firstErr error
-	for out := range results {
-		if out.err != nil {
-			if firstErr == nil {
-				firstErr = out.err
-			}
-			continue
-		}
-		jobs[out.idx].store(out.val)
 	}
-	return firstErr
+	if _, err := runner.Run(d.runnerConfig(label), tasks); err != nil {
+		return err
+	}
+	for i, j := range jobs {
+		j.store(vals[i])
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/s3wlan/s3wlan/internal/runner"
 	"github.com/s3wlan/s3wlan/internal/stats"
 	"github.com/s3wlan/s3wlan/internal/synth"
 )
@@ -26,26 +27,44 @@ type ReplicatedFig12Result struct {
 }
 
 // ReplicateFig12 runs the full prepare-train-simulate-compare pipeline
-// once per seed.
-func ReplicateFig12(campus synth.Config, trainDays int, seeds []int64) (*ReplicatedFig12Result, error) {
+// once per seed. Replications are fully independent (each owns its
+// generated campus), so they fan out across rcfg's worker pool; the
+// per-seed results land in seed order regardless of worker count.
+func ReplicateFig12(campus synth.Config, trainDays int, seeds []int64, rcfg runner.Config) (*ReplicatedFig12Result, error) {
 	if len(seeds) == 0 {
 		return nil, errors.New("experiments: no seeds")
 	}
+	if rcfg.Label == "" {
+		rcfg.Label = "replicate-fig12"
+	}
+	type seedOutcome struct {
+		gain, peakGain float64
+	}
+	outcomes, _, err := runner.Map(rcfg, seeds,
+		func(_ *runner.Ctx, seed int64) (seedOutcome, error) {
+			cfg := campus
+			cfg.Seed = seed
+			d, err := Prepare(cfg, trainDays)
+			if err != nil {
+				return seedOutcome{}, fmt.Errorf("seed %d: %w", seed, err)
+			}
+			// Seed replications already occupy the pool; the inner
+			// S³-vs-LLF pair runs serially within its replication.
+			d.Workers = 1
+			fig, err := Fig12(d)
+			if err != nil {
+				return seedOutcome{}, fmt.Errorf("seed %d: %w", seed, err)
+			}
+			return seedOutcome{gain: fig.GainPercent, peakGain: fig.LeavePeakGainPercent}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	res := &ReplicatedFig12Result{Seeds: seeds}
-	for _, seed := range seeds {
-		cfg := campus
-		cfg.Seed = seed
-		d, err := Prepare(cfg, trainDays)
-		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", seed, err)
-		}
-		fig, err := Fig12(d)
-		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", seed, err)
-		}
-		res.Gains = append(res.Gains, fig.GainPercent)
-		res.PeakGains = append(res.PeakGains, fig.LeavePeakGainPercent)
-		if fig.GainPercent > 0 {
+	for _, o := range outcomes {
+		res.Gains = append(res.Gains, o.gain)
+		res.PeakGains = append(res.PeakGains, o.peakGain)
+		if o.gain > 0 {
 			res.Wins++
 		}
 	}

@@ -1,8 +1,3 @@
-// Package metrics implements the load-balancing metrics of the S³ paper:
-// the Chiu–Jain balance index over per-AP throughputs, its normalized form,
-// the variance-of-balance measure S used in the measurement study, and the
-// comparison statistics (gain, error-bar reduction) quoted in the
-// evaluation.
 package metrics
 
 import (

@@ -1,0 +1,22 @@
+// Package metrics implements the load-balancing metrics of the S³ paper.
+//
+// The central quantity is the Chiu–Jain fairness index over per-AP
+// throughputs (Section III-A), exposed both raw (BalanceIndex) and in the
+// normalized form the paper plots, where 1 means perfectly balanced and
+// values fall toward 1/n as load concentrates on one of n APs
+// (NormalizedBalanceIndex). On top of it the package provides:
+//
+//   - the variance-of-balance measure S from the measurement study
+//     (Fig. 3), which captures how stable the balance of a controller
+//     domain is across a time window rather than at an instant;
+//   - alternative fairness metrics used by the ablations to cross-check
+//     that S³'s advantage is not an artifact of one index: the max-min
+//     throughput ratio, proportional fairness (sum of log throughputs),
+//     and the Gini coefficient;
+//   - the comparison statistics quoted in the evaluation (Section V):
+//     relative gain between two policies and the error-bar (variance)
+//     reduction of Fig. 12.
+//
+// All functions are pure and deterministic; they take per-AP load slices
+// produced by trace.BinLoads and never mutate their inputs.
+package metrics

@@ -1,0 +1,312 @@
+// Package obs is the repository's lightweight observability layer:
+// process-wide counters, timers and duration histograms with atomic
+// updates, a named registry, and a deterministic JSON export. It is
+// pure standard library and allocation-free on the hot path, so the
+// selector beam search, the event engine and the synthetic generator
+// can stay instrumented unconditionally.
+//
+// Metrics are created once (usually in package-level vars at the
+// instrumentation site) and updated with atomic operations:
+//
+//	var selects = obs.GetCounter("core.select.calls")
+//
+//	func (s *Selector) Select(...) { selects.Inc(); ... }
+//
+// Snapshot and WriteJSON read a consistent-enough view for reporting
+// (each metric is read atomically; the set of metrics only grows).
+// Reset zeroes every registered metric, which the CLIs use to scope a
+// report to one invocation and tests use for isolation.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be any non-negative increment; batching increments
+// in a local variable and adding once keeps tight loops cheap).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Timer accumulates total duration and call count of a code region.
+type Timer struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
+// Observe records one timed region.
+func (t *Timer) Observe(d time.Duration) {
+	t.count.Add(1)
+	t.nanos.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.nanos.Load()) }
+
+// histBounds are the upper bounds (exclusive) of the histogram buckets;
+// the final bucket is unbounded. Decade steps from 10µs to 10s cover
+// everything from a single Select call to a full experiment sweep.
+var histBounds = []time.Duration{
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// histLabels name the buckets in exports, parallel to histBounds plus
+// the overflow bucket.
+var histLabels = []string{
+	"<10µs", "<100µs", "<1ms", "<10ms", "<100ms", "<1s", "<10s", "≥10s",
+}
+
+// Histogram is a fixed-bucket duration histogram (decade buckets from
+// 10µs to 10s) that also tracks count, total and max. It serves as the
+// per-stage latency breakdown of the pipeline.
+type Histogram struct {
+	buckets [8]atomic.Int64
+	count   atomic.Int64
+	nanos   atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := 0
+	for i < len(histBounds) && d >= histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.nanos.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Total returns the accumulated duration.
+func (h *Histogram) Total() time.Duration { return time.Duration(h.nanos.Load()) }
+
+// Registry is a named collection of metrics. The zero value is ready to
+// use; most callers use the package-level default registry through
+// GetCounter, GetTimer and GetHistogram.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
+}
+
+// Default is the process-wide registry every Get* helper registers into.
+var Default = &Registry{}
+
+// GetCounter returns the registry's counter with the given name,
+// creating it on first use.
+func (r *Registry) GetCounter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// GetTimer returns the registry's timer with the given name, creating
+// it on first use.
+func (r *Registry) GetTimer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.timers == nil {
+		r.timers = make(map[string]*Timer)
+	}
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// GetHistogram returns the registry's histogram with the given name,
+// creating it on first use.
+func (r *Registry) GetHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered metric (the metric objects stay
+// registered, so package-level vars holding them remain valid).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, t := range r.timers {
+		t.count.Store(0)
+		t.nanos.Store(0)
+	}
+	for _, h := range r.histograms {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.nanos.Store(0)
+		h.max.Store(0)
+	}
+}
+
+// GetCounter returns a counter from the default registry.
+func GetCounter(name string) *Counter { return Default.GetCounter(name) }
+
+// GetTimer returns a timer from the default registry.
+func GetTimer(name string) *Timer { return Default.GetTimer(name) }
+
+// GetHistogram returns a histogram from the default registry.
+func GetHistogram(name string) *Histogram { return Default.GetHistogram(name) }
+
+// Reset zeroes the default registry.
+func Reset() { Default.Reset() }
+
+// TimerSnapshot is the exported state of a Timer.
+type TimerSnapshot struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
+// HistogramSnapshot is the exported state of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	TotalMS float64          `json:"total_ms"`
+	MeanMS  float64          `json:"mean_ms"`
+	MaxMS   float64          `json:"max_ms"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time view of a registry, suitable for JSON
+// encoding (encoding/json sorts map keys, so output is deterministic
+// for a given metric state).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Timers     map[string]TimerSnapshot     `json:"timers,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// TakeSnapshot captures the registry's current metric values.
+func (r *Registry) TakeSnapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{}
+	if len(r.counters) > 0 {
+		snap.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			snap.Counters[name] = c.Value()
+		}
+	}
+	if len(r.timers) > 0 {
+		snap.Timers = make(map[string]TimerSnapshot, len(r.timers))
+		for name, t := range r.timers {
+			ts := TimerSnapshot{Count: t.Count(), TotalMS: ms(t.Total())}
+			if ts.Count > 0 {
+				ts.MeanMS = ts.TotalMS / float64(ts.Count)
+			}
+			snap.Timers[name] = ts
+		}
+	}
+	if len(r.histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			hs := HistogramSnapshot{
+				Count:   h.Count(),
+				TotalMS: ms(h.Total()),
+				MaxMS:   ms(time.Duration(h.max.Load())),
+			}
+			if hs.Count > 0 {
+				hs.MeanMS = hs.TotalMS / float64(hs.Count)
+			}
+			hs.Buckets = make(map[string]int64)
+			for i := range h.buckets {
+				if n := h.buckets[i].Load(); n > 0 {
+					hs.Buckets[histLabels[i]] = n
+				}
+			}
+			snap.Histograms[name] = hs
+		}
+	}
+	return snap
+}
+
+// TakeSnapshot captures the default registry.
+func TakeSnapshot() Snapshot { return Default.TakeSnapshot() }
+
+// WriteJSON writes the registry snapshot as indented JSON with sorted
+// keys.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.TakeSnapshot())
+}
+
+// WriteJSON writes the default registry's snapshot.
+func WriteJSON(w io.Writer) error { return Default.WriteJSON(w) }
+
+// Names returns the sorted names of all registered metrics of the
+// registry (counters, timers and histograms pooled), mainly for tests.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.timers {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

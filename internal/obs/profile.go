@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileConfig selects which profiling outputs a command should
+// produce. Zero values disable each output.
+type ProfileConfig struct {
+	// CPUFile receives a CPU profile covering StartProfiling→stop.
+	CPUFile string
+	// MemFile receives a heap profile written at stop time.
+	MemFile string
+	// HTTPAddr starts a net/http/pprof debug server (e.g.
+	// "localhost:6060") for live inspection of long runs.
+	HTTPAddr string
+}
+
+// StartProfiling wires the standard pprof surfaces into a command. It
+// returns a stop function that must be called before exit (it finishes
+// the CPU profile and writes the heap profile); stop is safe to call
+// when every field was empty.
+func StartProfiling(cfg ProfileConfig) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cfg.CPUFile != "" {
+		cpuFile, err = os.Create(cfg.CPUFile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+		}
+	}
+	if cfg.HTTPAddr != "" {
+		go func() {
+			// Diagnostics only: the error (e.g. port in use) must not
+			// take the run down.
+			_ = http.ListenAndServe(cfg.HTTPAddr, nil)
+		}()
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if cfg.MemFile != "" {
+			f, err := os.Create(cfg.MemFile)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("obs: create mem profile: %w", err)
+				}
+				return firstErr
+			}
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: write mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -1,0 +1,22 @@
+// Package protocol implements the S³ prototype the paper validates its
+// design with (Section IV): a WLAN controller as a TCP server speaking a
+// JSON-lines wire protocol, AP agents that register and periodically
+// report load, and stations that request association.
+//
+// The controller embeds any wlan.Selector — the S³ policy from
+// internal/core or a baseline from internal/baseline — and makes live
+// association decisions exactly as the simulator does, but over real
+// sockets. That symmetry is the point: the same policy code path is
+// exercised by the discrete-event simulation (internal/eventsim driving
+// internal/wlan) and by this networked prototype, so simulated results
+// carry over to the deployable artifact.
+//
+// Wire format: one JSON object per line, each carrying a Type tag
+// (register, report, associate, decision, error) and the corresponding
+// payload fields. The format is versioned by field presence only; unknown
+// fields are ignored, which keeps old agents compatible with newer
+// controllers.
+//
+// Command s3proto wraps this package into a runnable demo (controller,
+// N agents and a scripted station workload in one process).
+package protocol

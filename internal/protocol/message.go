@@ -1,9 +1,3 @@
-// Package protocol implements the S³ prototype the paper validates its
-// design with: a WLAN controller as a TCP server speaking a JSON-lines
-// wire protocol, AP agents that register and report load, and stations
-// that request association. The controller runs any wlan.Selector — the
-// S³ policy or a baseline — live, making association decisions exactly as
-// the simulator does but over real sockets.
 package protocol
 
 import (

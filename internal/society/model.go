@@ -5,11 +5,17 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"github.com/s3wlan/s3wlan/internal/apps"
 	"github.com/s3wlan/s3wlan/internal/cluster"
+	"github.com/s3wlan/s3wlan/internal/obs"
 	"github.com/s3wlan/s3wlan/internal/trace"
 )
+
+// obsTrain times whole training runs — one of the two dominant stages
+// (with wlan.Simulate) of every experiment cell.
+var obsTrain = obs.GetHistogram("society.train")
 
 // Config holds the sociality-learning parameters studied in the paper's
 // evaluation (Figs. 10 and 11).
@@ -110,6 +116,8 @@ func Train(tr *trace.Trace, profiles *apps.ProfileStore, cfg Config) (*Model, er
 	if len(tr.Sessions) == 0 {
 		return nil, ErrNoSessions
 	}
+	start := time.Now()
+	defer func() { obsTrain.Observe(time.Since(start)) }()
 	sessions := tr.Sessions
 	if cfg.HistoryDays > 0 {
 		_, end := tr.TimeRange()

@@ -1,0 +1,16 @@
+// Package stats provides the statistical primitives used throughout the
+// S³ reproduction: descriptive statistics (mean, variance, quantiles,
+// confidence intervals), empirical CDFs, entropy and mutual information
+// over categorical distributions, correlation measures, and online
+// accumulators (Welford).
+//
+// The measurement study leans on the CDF and variance helpers (Figs. 2–5),
+// the clustering pipeline on entropy/NMI (Fig. 6) and the gap statistic
+// (Fig. 7), and the evaluation on MeanCI for the replicated Fig. 12
+// confidence intervals.
+//
+// All functions operate on float64 slices and are deterministic. Inputs
+// are never mutated unless the function name says so (e.g. SortInPlace),
+// so shared slices can be evaluated concurrently by the experiment
+// runner.
+package stats

@@ -1,10 +1,3 @@
-// Package stats provides the statistical primitives used throughout the S³
-// reproduction: descriptive statistics, empirical CDFs, entropy and mutual
-// information over categorical distributions, correlation measures, and
-// online accumulators.
-//
-// All functions operate on float64 slices and are deterministic. Inputs are
-// never mutated unless the function name says so (e.g. SortInPlace).
 package stats
 
 import (

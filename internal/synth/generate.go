@@ -7,11 +7,20 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"github.com/s3wlan/s3wlan/internal/apps"
 	"github.com/s3wlan/s3wlan/internal/baseline"
+	"github.com/s3wlan/s3wlan/internal/obs"
 	"github.com/s3wlan/s3wlan/internal/trace"
 	"github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+// Observability of trace generation (stage timing plus output volume).
+var (
+	obsGenerate = obs.GetHistogram("synth.generate")
+	obsSessions = obs.GetCounter("synth.sessions")
+	obsFlows    = obs.GetCounter("synth.flows")
 )
 
 // archetypeMixes maps each archetype to its realm mixture (canonical realm
@@ -108,6 +117,8 @@ func Generate(cfg Config) (*trace.Trace, *GroundTruth, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
+	start := time.Now()
+	defer func() { obsGenerate.Observe(time.Since(start)) }()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	topo := buildTopology(cfg)
@@ -121,6 +132,8 @@ func Generate(cfg Config) (*trace.Trace, *GroundTruth, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("synth: LLF assignment: %w", err)
 	}
+	obsSessions.Add(int64(len(assigned)))
+	obsFlows.Add(int64(len(flows)))
 	tr := &trace.Trace{Topology: topo, Sessions: assigned, Flows: flows}
 	tr.SortSessions()
 	sort.Slice(tr.Flows, func(i, j int) bool {

@@ -1,8 +1,3 @@
-// Package wlan is the enterprise-WLAN simulation layer: controllers and
-// APs with capacity, stations with demands, an association lifecycle
-// driven by a discrete-event engine, and a pluggable association policy
-// (the Selector). Baseline policies live in internal/baseline; the S³
-// policy lives in internal/core.
 package wlan
 
 import (

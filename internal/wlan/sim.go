@@ -5,10 +5,19 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"time"
 
 	"github.com/s3wlan/s3wlan/internal/eventsim"
 	"github.com/s3wlan/s3wlan/internal/metrics"
+	"github.com/s3wlan/s3wlan/internal/obs"
 	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// Observability of simulation runs — with society.Train, the dominant
+// stage of every experiment cell.
+var (
+	obsSimulate = obs.GetHistogram("wlan.simulate")
+	obsSimSess  = obs.GetCounter("wlan.sessions")
 )
 
 // Failure injects an AP outage: the AP accepts no new associations during
@@ -146,6 +155,9 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 	if len(tr.Sessions) == 0 {
 		return nil, errors.New("wlan: no sessions to simulate")
 	}
+	wallStart := time.Now()
+	defer func() { obsSimulate.Observe(time.Since(wallStart)) }()
+	obsSimSess.Add(int64(len(tr.Sessions)))
 
 	start, end := tr.TimeRange()
 	res := &Result{
