@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments analyses ablations clean
+.PHONY: all build vet test race chaos bench experiments analyses ablations clean
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Churn + fault-injection soak of the live controller (smoke check).
+CHAOS_DUR ?= 5s
+chaos:
+	$(GO) run ./cmd/s3proto -chaos -chaos-dur $(CHAOS_DUR) -policy llf
 
 # One benchmark per paper table/figure plus module micro-benchmarks.
 bench:

@@ -30,6 +30,24 @@ func TestRunDemoS3(t *testing.T) {
 	}
 }
 
+func TestRunChaosSoak(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-chaos", "-chaos-dur", "300ms", "-policy", "llf",
+		"-chaos-aps", "2", "-chaos-stations", "4", "-seed", "7",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "chaos soak") || !strings.Contains(out, "chaos summary") {
+		t.Errorf("missing chaos output: %s", out)
+	}
+	if !strings.Contains(out, "protocol.ap.registered") {
+		t.Errorf("missing health counters: %s", out)
+	}
+}
+
 func TestRunUnknownPolicy(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-demo", "-policy", "bogus"}, &buf); err == nil {

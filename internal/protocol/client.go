@@ -3,22 +3,79 @@ package protocol
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
+	"github.com/s3wlan/s3wlan/internal/obs"
 	"github.com/s3wlan/s3wlan/internal/trace"
 )
 
+// obsAgentReconnects counts successful AP-agent reconnections (client
+// side), part of the protocol health counter set.
+var obsAgentReconnects = obs.GetCounter("protocol.agent.reconnects")
+
+// Dialer opens the transport connection for a client. Overriding it lets
+// tests and the chaos demo inject faulty transports (e.g. faultconn).
+type Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+
+func defaultDial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// ReconnectConfig governs an AP agent's redial behavior after a dropped
+// controller connection: exponential backoff from BaseDelay to MaxDelay
+// with ±Jitter relative randomization (seeded, so tests are
+// deterministic). The zero value disables reconnection.
+type ReconnectConfig struct {
+	// MaxAttempts is the number of redials tried per failed operation
+	// (0 disables reconnection).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 2s).
+	MaxDelay time.Duration
+	// Jitter is the relative randomization of each delay in [0,1]:
+	// 0.2 yields delays in [0.8d, 1.2d]. Desynchronizes agent herds
+	// reconnecting after a controller restart.
+	Jitter float64
+	// Seed seeds the jitter source.
+	Seed int64
+	// Dial overrides the transport dialer (default TCP).
+	Dial Dialer
+}
+
+// DefaultReconnectConfig is a sensible starting point: 8 attempts,
+// 25ms → 2s backoff, 20% jitter.
+func DefaultReconnectConfig() ReconnectConfig {
+	return ReconnectConfig{
+		MaxAttempts: 8,
+		BaseDelay:   25 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Jitter:      0.2,
+		Seed:        1,
+	}
+}
+
 // APAgent is the client side of a registered access point: it announces
-// the AP to the controller and streams load reports.
+// the AP to the controller and streams load reports. Agents built with
+// DialAPReconnecting transparently re-dial and re-hello (renewing their
+// lease server-side) when the controller connection drops.
 type APAgent struct {
 	conn *Conn
 	id   trace.APID
+
+	addr        string
+	capacityBps float64
+	timeout     time.Duration
+	rc          ReconnectConfig
+	rng         *rand.Rand
+	reconnects  int64
 }
 
-// DialAP connects an AP agent and registers the AP.
-func DialAP(addr string, id trace.APID, capacityBps float64, timeout time.Duration) (*APAgent, error) {
-	raw, err := net.DialTimeout("tcp", addr, timeout)
+// dialAP opens one agent connection and performs the hello handshake.
+func dialAP(dial Dialer, addr string, id trace.APID, capacityBps float64, timeout time.Duration) (*Conn, error) {
+	raw, err := dial(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: dial: %w", err)
 	}
@@ -45,16 +102,130 @@ func DialAP(addr string, id trace.APID, capacityBps float64, timeout time.Durati
 		conn.Close()
 		return nil, fmt.Errorf("protocol: unexpected reply %s", reply.Type)
 	}
-	return &APAgent{conn: conn, id: id}, nil
+	return conn, nil
 }
 
-// Report sends one load report.
-func (a *APAgent) Report(loadBps float64) error {
-	return a.conn.Send(Message{Type: MsgReport, AP: string(a.id), LoadBps: loadBps})
+// DialAP connects an AP agent and registers the AP (no reconnection; see
+// DialAPReconnecting for the resilient variant).
+func DialAP(addr string, id trace.APID, capacityBps float64, timeout time.Duration) (*APAgent, error) {
+	conn, err := dialAP(defaultDial, addr, id, capacityBps, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &APAgent{
+		conn:        conn,
+		id:          id,
+		addr:        addr,
+		capacityBps: capacityBps,
+		timeout:     timeout,
+	}, nil
 }
+
+// DialAPReconnecting connects an AP agent that survives controller
+// connection drops: a failed Report redials with exponential backoff and
+// jitter per rc and re-hellos, which the controller treats as a lease
+// renewal of the same registration. The initial dial is retried the same
+// way.
+func DialAPReconnecting(addr string, id trace.APID, capacityBps float64, timeout time.Duration, rc ReconnectConfig) (*APAgent, error) {
+	a := &APAgent{
+		id:          id,
+		addr:        addr,
+		capacityBps: capacityBps,
+		timeout:     timeout,
+		rc:          rc,
+		rng:         rand.New(rand.NewSource(rc.Seed)),
+	}
+	conn, err := dialAP(a.dialer(), addr, id, capacityBps, timeout)
+	if err != nil {
+		if rerr := a.redial(); rerr != nil {
+			return nil, err
+		}
+		return a, nil
+	}
+	a.conn = conn
+	return a, nil
+}
+
+func (a *APAgent) dialer() Dialer {
+	if a.rc.Dial != nil {
+		return a.rc.Dial
+	}
+	return defaultDial
+}
+
+// redial re-establishes the agent connection with backoff and jitter.
+func (a *APAgent) redial() error {
+	if a.conn != nil {
+		a.conn.Close()
+		a.conn = nil
+	}
+	delay := a.rc.BaseDelay
+	if delay <= 0 {
+		delay = 25 * time.Millisecond
+	}
+	maxDelay := a.rc.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	var lastErr error
+	for attempt := 0; attempt < a.rc.MaxAttempts; attempt++ {
+		conn, err := dialAP(a.dialer(), a.addr, a.id, a.capacityBps, a.timeout)
+		if err == nil {
+			a.conn = conn
+			a.reconnects++
+			obsAgentReconnects.Inc()
+			return nil
+		}
+		lastErr = err
+		d := delay
+		if a.rc.Jitter > 0 && a.rng != nil {
+			d = time.Duration(float64(d) * (1 + a.rc.Jitter*(2*a.rng.Float64()-1)))
+		}
+		time.Sleep(d)
+		delay *= 2
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("protocol: reconnect disabled")
+	}
+	return fmt.Errorf("protocol: reconnect %s: %w", a.id, lastErr)
+}
+
+// Report sends one load report. A reconnecting agent treats a send
+// failure as a dropped connection: it redials (renewing its lease via a
+// fresh hello) and retries the report once on the new connection.
+func (a *APAgent) Report(loadBps float64) error {
+	m := Message{Type: MsgReport, AP: string(a.id), LoadBps: loadBps}
+	var err error
+	if a.conn != nil {
+		if err = a.conn.Send(m); err == nil {
+			return nil
+		}
+	} else {
+		err = errors.New("protocol: agent not connected")
+	}
+	if a.rc.MaxAttempts <= 0 {
+		return err
+	}
+	if rerr := a.redial(); rerr != nil {
+		return fmt.Errorf("%w (after report error: %v)", rerr, err)
+	}
+	return a.conn.Send(m)
+}
+
+// Reconnects returns how many times the agent re-established its
+// controller connection.
+func (a *APAgent) Reconnects() int64 { return a.reconnects }
 
 // Close disconnects the agent.
-func (a *APAgent) Close() error { return a.conn.Close() }
+func (a *APAgent) Close() error {
+	if a.conn == nil {
+		return nil
+	}
+	return a.conn.Close()
+}
 
 // Station is the client side of a WLAN user.
 type Station struct {
@@ -65,7 +236,13 @@ type Station struct {
 
 // DialStation connects and registers a station.
 func DialStation(addr string, user trace.UserID, timeout time.Duration) (*Station, error) {
-	raw, err := net.DialTimeout("tcp", addr, timeout)
+	return DialStationWith(defaultDial, addr, user, timeout)
+}
+
+// DialStationWith is DialStation with an explicit transport dialer
+// (tests and chaos harnesses inject faulty transports here).
+func DialStationWith(dial Dialer, addr string, user trace.UserID, timeout time.Duration) (*Station, error) {
+	raw, err := dial(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: dial: %w", err)
 	}

@@ -11,9 +11,30 @@ import (
 	"sync"
 	"time"
 
+	"github.com/s3wlan/s3wlan/internal/obs"
 	"github.com/s3wlan/s3wlan/internal/trace"
 	"github.com/s3wlan/s3wlan/internal/wlan"
 )
+
+// Controller health counters, exported through the obs registry so the
+// chaos demo and operators can watch lifecycle churn: registrations and
+// renewals, lease expiries, accept-loop retries, selection retries after
+// a stale snapshot, and rejected traffic reports.
+var (
+	obsAPRegistered    = obs.GetCounter("protocol.ap.registered")
+	obsAPRenewed       = obs.GetCounter("protocol.ap.renewed")
+	obsLeaseExpired    = obs.GetCounter("protocol.ap.lease_expired")
+	obsAcceptRetries   = obs.GetCounter("protocol.accept.retries")
+	obsSelectRetries   = obs.GetCounter("protocol.select.retries")
+	obsAssocMoves      = obs.GetCounter("protocol.assoc.moves")
+	obsTrafficRejected = obs.GetCounter("protocol.traffic.rejected")
+)
+
+// maxSelectRetries bounds the lock-free selection retry loop: after this
+// many stale snapshots the decision is committed against the current
+// state anyway (membership mutations are always serialized under the
+// lock, so a stale commit is at worst suboptimal, never corrupting).
+const maxSelectRetries = 3
 
 // apEntry is the controller's live view of one registered AP.
 type apEntry struct {
@@ -21,6 +42,18 @@ type apEntry struct {
 	capacityBps float64
 	reportedBps float64
 	users       map[trace.UserID]float64 // user -> believed demand
+
+	// static entries come from RegisterAP (no agent connection) and are
+	// exempt from lease expiry.
+	static bool
+	// lastSeen is the unix time of the agent's last hello or report.
+	lastSeen int64
+	// gen is the registration generation, bumped on every re-hello so a
+	// superseded agent connection can detect it lost ownership.
+	gen uint64
+	// agentConn is the live agent connection, if any; a takeover or
+	// lease expiry closes it.
+	agentConn *Conn
 }
 
 // AssociationObserver receives association lifecycle events — e.g. a
@@ -35,6 +68,14 @@ type AssociationObserver interface {
 	Disconnect(u trace.UserID, ap trace.APID, ts int64) error
 }
 
+// lifecycleEvent is a deferred observer notification gathered under the
+// lock and emitted after it is released.
+type lifecycleEvent struct {
+	user trace.UserID
+	ap   trace.APID
+	ts   int64
+}
+
 // Controller is the prototype WLAN controller: a TCP server that
 // registers AP agents, receives their load reports, and answers stations'
 // association requests by running the configured policy.
@@ -45,6 +86,10 @@ type Controller struct {
 	observer AssociationObserver
 	now      func() int64
 
+	// leaseSeconds is how long an agent-registered AP survives without a
+	// hello or report before it is expired (0 = leases disabled).
+	leaseSeconds int64
+
 	mu          sync.Mutex
 	aps         map[trace.APID]*apEntry
 	assignments map[trace.UserID]trace.APID
@@ -52,8 +97,12 @@ type Controller struct {
 	servedByUsr map[trace.UserID]int64
 	served      map[trace.APID]int64 // bytes reported by stations
 	sessionLog  *json.Encoder
+	// version counts structural changes (AP set, membership): the
+	// lock-free selection path validates against it before committing.
+	version uint64
 
 	listener net.Listener
+	stop     chan struct{}
 	wg       sync.WaitGroup
 	closed   bool
 }
@@ -82,10 +131,22 @@ func WithClock(now func() int64) ControllerOption {
 	return func(c *Controller) { c.now = now }
 }
 
+// WithLease enables lease-based AP registration: an agent-registered AP
+// whose agent has been silent (no hello, no report) for more than
+// seconds is expired — removed from the policy's view, its believed
+// users disassociated through the observer and the session log. APs
+// added with RegisterAP are static and never expire.
+func WithLease(seconds int64) ControllerOption {
+	return func(c *Controller) { c.leaseSeconds = seconds }
+}
+
 // WithSessionLog makes the controller record every completed association
 // as a trace.Session JSON document on w — the "back-end data center"
-// login log the paper's measurement study is built from. The emitted
-// lines parse with trace.ReadJSONLines/trace.Stream when wrapped as
+// login log the paper's measurement study is built from. A completed
+// association is any departure from an AP: an explicit disassociation, a
+// dropped station connection, a re-association that moves the user, or a
+// lease expiry of the serving AP. The emitted lines parse with
+// trace.ReadJSONLines/trace.Stream when wrapped as
 // {"kind":"session","session":…}, which is exactly what is written.
 func WithSessionLog(w io.Writer) ControllerOption {
 	return func(c *Controller) { c.sessionLog = json.NewEncoder(w) }
@@ -113,8 +174,8 @@ func NewController(selector wlan.Selector, opts ...ControllerOption) (*Controlle
 	return c, nil
 }
 
-// RegisterAP adds an AP directly (without an agent connection). Useful for
-// static topologies and tests.
+// RegisterAP adds a static AP directly (without an agent connection).
+// Static APs never expire. Useful for fixed topologies and tests.
 func (c *Controller) RegisterAP(id trace.APID, capacityBps float64) error {
 	if id == "" {
 		return errors.New("protocol: empty AP id")
@@ -128,8 +189,47 @@ func (c *Controller) RegisterAP(id trace.APID, capacityBps float64) error {
 		id:          id,
 		capacityBps: capacityBps,
 		users:       make(map[trace.UserID]float64),
+		static:      true,
 	}
+	c.version++
 	return nil
+}
+
+// registerAgent registers (or, on a re-hello, renews) an agent-backed AP.
+// A renewal bumps the registration generation and supersedes any previous
+// agent connection, which is returned for closing outside the lock — a
+// reconnecting agent must not be locked out by its own half-dead
+// predecessor.
+func (c *Controller) registerAgent(conn *Conn, id trace.APID, capacityBps float64) (uint64, *Conn, error) {
+	if id == "" {
+		return 0, nil, errors.New("protocol: empty AP id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.now()
+	if entry, ok := c.aps[id]; ok {
+		if entry.static {
+			return 0, nil, fmt.Errorf("protocol: AP %q statically registered", id)
+		}
+		old := entry.agentConn
+		entry.capacityBps = capacityBps
+		entry.lastSeen = ts
+		entry.gen++
+		entry.agentConn = conn
+		obsAPRenewed.Inc()
+		return entry.gen, old, nil
+	}
+	c.aps[id] = &apEntry{
+		id:          id,
+		capacityBps: capacityBps,
+		users:       make(map[trace.UserID]float64),
+		lastSeen:    ts,
+		gen:         1,
+		agentConn:   conn,
+	}
+	c.version++
+	obsAPRegistered.Inc()
+	return 1, nil, nil
 }
 
 // Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the bound
@@ -139,29 +239,59 @@ func (c *Controller) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("protocol: listen: %w", err)
 	}
+	return c.Serve(ln), nil
+}
+
+// Serve starts accepting peers on an externally created listener and
+// returns its address. It allows wrapping the listener (e.g. with
+// faultconn fault injection) before handing it to the controller.
+func (c *Controller) Serve(ln net.Listener) string {
+	stop := make(chan struct{})
 	c.mu.Lock()
 	c.listener = ln
 	c.closed = false
+	c.stop = stop
 	c.mu.Unlock()
 	c.wg.Add(1)
-	go c.acceptLoop(ln)
-	return ln.Addr().String(), nil
+	go c.acceptLoop(ln, stop)
+	return ln.Addr().String()
 }
 
-func (c *Controller) acceptLoop(ln net.Listener) {
+// acceptLoop accepts peers until the listener is closed. Transient
+// accept errors (ECONNABORTED, EMFILE, injected chaos, …) are retried
+// with capped exponential backoff instead of killing the listener: the
+// loop exits only when the controller is closed or the listener reports
+// it is no longer usable.
+func (c *Controller) acceptLoop(ln net.Listener, stop chan struct{}) {
 	defer c.wg.Done()
+	const (
+		baseBackoff = 5 * time.Millisecond
+		maxBackoff  = time.Second
+	)
+	backoff := baseBackoff
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			c.mu.Lock()
 			closed := c.closed
 			c.mu.Unlock()
-			if closed {
+			if closed || errors.Is(err, net.ErrClosed) {
 				return
 			}
-			c.logger.Printf("accept: %v", err)
-			return
+			obsAcceptRetries.Inc()
+			c.logger.Printf("accept (retry in %v): %v", backoff, err)
+			select {
+			case <-stop:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
 		}
+		backoff = baseBackoff
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
@@ -173,9 +303,16 @@ func (c *Controller) acceptLoop(ln net.Listener) {
 // Close stops the listener and waits for peer goroutines to finish.
 func (c *Controller) Close() error {
 	c.mu.Lock()
-	c.closed = true
+	var stop chan struct{}
+	if !c.closed {
+		c.closed = true
+		stop = c.stop
+	}
 	ln := c.listener
 	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -212,24 +349,33 @@ func (c *Controller) replyError(conn *Conn, msg string) {
 	}
 }
 
-// handleAP registers an AP agent and consumes its load reports.
+// handleAP registers an AP agent and consumes its load reports, each of
+// which renews the AP's lease. The loop exits when the connection drops
+// (the registration then rides out its lease awaiting a reconnect) or
+// when a newer agent connection for the same AP takes over.
 func (c *Controller) handleAP(conn *Conn, hello Message) {
 	id := trace.APID(hello.ID)
-	if err := c.RegisterAP(id, hello.CapacityBps); err != nil {
+	gen, old, err := c.registerAgent(conn, id, hello.CapacityBps)
+	if err != nil {
 		c.replyError(conn, err.Error())
 		return
+	}
+	if old != nil {
+		old.Close()
+		c.logger.Printf("ap %s re-hello: superseding previous agent connection", id)
 	}
 	if err := conn.Send(Message{Type: MsgHelloOK, ID: hello.ID}); err != nil {
 		c.logger.Printf("ap %s: %v", id, err)
 		return
 	}
-	c.logger.Printf("ap %s registered (capacity %.0f B/s)", id, hello.CapacityBps)
+	c.logger.Printf("ap %s registered (capacity %.0f B/s, gen %d)", id, hello.CapacityBps, gen)
 	for {
 		m, err := conn.Receive()
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
 				c.logger.Printf("ap %s: %v", id, err)
 			}
+			c.agentGone(id, gen)
 			return
 		}
 		if m.Type != MsgReport {
@@ -237,11 +383,28 @@ func (c *Controller) handleAP(conn *Conn, hello Message) {
 			return
 		}
 		c.mu.Lock()
-		if entry, ok := c.aps[id]; ok {
-			entry.reportedBps = m.LoadBps
+		entry, ok := c.aps[id]
+		if !ok || entry.gen != gen {
+			// Expired or superseded: this connection lost ownership.
+			c.mu.Unlock()
+			return
 		}
+		entry.reportedBps = m.LoadBps
+		entry.lastSeen = c.now()
 		c.mu.Unlock()
 	}
+}
+
+// agentGone detaches a dropped agent connection from its AP entry. The
+// registration itself survives: the lease keeps the AP (and its believed
+// users) alive for a reconnect window before expiry re-homes them.
+func (c *Controller) agentGone(id trace.APID, gen uint64) {
+	c.mu.Lock()
+	if entry, ok := c.aps[id]; ok && entry.gen == gen {
+		entry.agentConn = nil
+	}
+	c.mu.Unlock()
+	c.logger.Printf("ap %s agent connection lost (lease pending)", id)
 }
 
 // handleStation serves one station's association lifecycle.
@@ -275,10 +438,21 @@ func (c *Controller) handleStation(conn *Conn, hello Message) {
 				return
 			}
 		case MsgTraffic:
+			// Credit the controller's recorded assignment, never the
+			// client-claimed AP: a stale or malicious claim must not
+			// shift served volume between APs. Traffic from a user with
+			// no assignment is rejected (dropped).
 			c.mu.Lock()
-			c.served[trace.APID(m.AP)] += m.Bytes
-			c.servedByUsr[user] += m.Bytes
+			ap, ok := c.assignments[user]
+			if ok {
+				c.served[ap] += m.Bytes
+				c.servedByUsr[user] += m.Bytes
+			}
 			c.mu.Unlock()
+			if !ok {
+				obsTrafficRejected.Inc()
+				c.logger.Printf("station %s: rejected %d bytes of traffic without association", user, m.Bytes)
+			}
 		case MsgDisassoc:
 			c.disassociate(user)
 		default:
@@ -288,55 +462,86 @@ func (c *Controller) handleStation(conn *Conn, hello Message) {
 }
 
 // Associate runs the policy for one user and records the assignment.
+//
+// The policy runs off the controller lock: a short critical section
+// snapshots the AP views and the structural version, selector.Select
+// runs lock-free (concurrent requests overlap), and the commit
+// re-validates the version under the lock. A stale snapshot — an AP
+// registered/expired or membership changed mid-selection — re-runs the
+// selection, up to maxSelectRetries times; after that the decision is
+// committed against current state anyway (state mutation stays fully
+// serialized, so staleness can cost optimality but never consistency).
 func (c *Controller) Associate(user trace.UserID, demandBps float64) (trace.APID, error) {
-	c.mu.Lock()
-	ts := c.now()
-	if len(c.aps) == 0 {
-		c.mu.Unlock()
-		return "", errors.New("protocol: no APs registered")
-	}
-	views := c.viewsLocked()
-	ap, err := c.selector.Select(wlan.Request{
-		User:      user,
-		At:        ts,
-		DemandBps: demandBps,
-	}, views)
-	if err != nil {
-		c.mu.Unlock()
-		return "", fmt.Errorf("protocol: policy: %w", err)
-	}
-	entry, ok := c.aps[ap]
-	if !ok {
-		c.mu.Unlock()
-		return "", fmt.Errorf("protocol: policy chose unknown AP %q", ap)
-	}
-	// Re-associating moves the user (a fresh request supersedes).
-	var prevAP trace.APID
-	hadPrev := false
-	if prev, ok := c.assignments[user]; ok {
-		if prevEntry, ok := c.aps[prev]; ok {
-			delete(prevEntry.users, user)
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		ts := c.now()
+		evs, conns := c.expireLocked(ts)
+		if len(c.aps) == 0 {
+			c.mu.Unlock()
+			c.emitLifecycle(evs, conns)
+			return "", errors.New("protocol: no APs registered")
 		}
-		prevAP, hadPrev = prev, true
-	}
-	entry.users[user] = demandBps
-	c.assignments[user] = ap
-	c.assignedAt[user] = ts
-	c.servedByUsr[user] = 0
-	c.logger.Printf("assoc %s -> %s (demand %.0f B/s)", user, ap, demandBps)
-	obs := c.observer
-	c.mu.Unlock()
+		views := c.viewsLocked()
+		ver := c.version
+		c.mu.Unlock()
+		c.emitLifecycle(evs, conns)
 
-	// Notify outside the lock: observers may be slow.
-	if obs != nil {
-		if hadPrev {
-			if err := obs.Disconnect(user, prevAP, ts); err != nil {
-				c.logger.Printf("observer disconnect %s: %v", user, err)
-			}
+		ap, err := c.selector.Select(wlan.Request{
+			User:      user,
+			At:        ts,
+			DemandBps: demandBps,
+		}, views)
+		if err != nil {
+			return "", fmt.Errorf("protocol: policy: %w", err)
 		}
-		obs.Connect(user, ap, ts)
+
+		c.mu.Lock()
+		entry, ok := c.aps[ap]
+		if !ok {
+			c.mu.Unlock()
+			if attempt < maxSelectRetries {
+				obsSelectRetries.Inc()
+				continue
+			}
+			return "", fmt.Errorf("protocol: policy chose unknown AP %q", ap)
+		}
+		if c.version != ver && attempt < maxSelectRetries {
+			c.mu.Unlock()
+			obsSelectRetries.Inc()
+			continue
+		}
+		// Commit. Re-associating moves the user (a fresh request
+		// supersedes) and completes the previous session.
+		var prevAP trace.APID
+		hadPrev := false
+		if prev, ok := c.assignments[user]; ok {
+			if prevEntry, ok := c.aps[prev]; ok {
+				delete(prevEntry.users, user)
+			}
+			c.sessionRecordLocked(user, prev, ts)
+			obsAssocMoves.Inc()
+			prevAP, hadPrev = prev, true
+		}
+		entry.users[user] = demandBps
+		c.assignments[user] = ap
+		c.assignedAt[user] = ts
+		c.servedByUsr[user] = 0
+		c.version++
+		c.logger.Printf("assoc %s -> %s (demand %.0f B/s)", user, ap, demandBps)
+		obs := c.observer
+		c.mu.Unlock()
+
+		// Notify outside the lock: observers may be slow.
+		if obs != nil {
+			if hadPrev {
+				if err := obs.Disconnect(user, prevAP, ts); err != nil {
+					c.logger.Printf("observer disconnect %s: %v", user, err)
+				}
+			}
+			obs.Connect(user, ap, ts)
+		}
+		return ap, nil
 	}
-	return ap, nil
 }
 
 func (c *Controller) disassociate(user trace.UserID) {
@@ -352,32 +557,91 @@ func (c *Controller) disassociate(user trace.UserID) {
 		delete(entry.users, user)
 	}
 	c.logger.Printf("disassoc %s from %s", user, ap)
-	if c.sessionLog != nil {
-		rec := struct {
-			Kind    string        `json:"kind"`
-			Session trace.Session `json:"session"`
-		}{
-			Kind: "session",
-			Session: trace.Session{
-				User:         user,
-				AP:           ap,
-				ConnectAt:    c.assignedAt[user],
-				DisconnectAt: ts,
-				Bytes:        c.servedByUsr[user],
-			},
-		}
-		if err := c.sessionLog.Encode(rec); err != nil {
-			c.logger.Printf("session log: %v", err)
-		}
-	}
+	c.sessionRecordLocked(user, ap, ts)
 	delete(c.assignedAt, user)
 	delete(c.servedByUsr, user)
+	c.version++
 	obs := c.observer
 	c.mu.Unlock()
 
 	if obs != nil {
 		if err := obs.Disconnect(user, ap, ts); err != nil {
 			c.logger.Printf("observer disconnect %s: %v", user, err)
+		}
+	}
+}
+
+// sessionRecordLocked emits one completed-association record to the
+// session log (if configured). Must run with c.mu held, before the
+// user's assignedAt/servedByUsr bookkeeping is reset.
+func (c *Controller) sessionRecordLocked(user trace.UserID, ap trace.APID, ts int64) {
+	if c.sessionLog == nil {
+		return
+	}
+	rec := struct {
+		Kind    string        `json:"kind"`
+		Session trace.Session `json:"session"`
+	}{
+		Kind: "session",
+		Session: trace.Session{
+			User:         user,
+			AP:           ap,
+			ConnectAt:    c.assignedAt[user],
+			DisconnectAt: ts,
+			Bytes:        c.servedByUsr[user],
+		},
+	}
+	if err := c.sessionLog.Encode(rec); err != nil {
+		c.logger.Printf("session log: %v", err)
+	}
+}
+
+// expireLocked removes agent-registered APs whose lease has lapsed and
+// re-homes their believed users: assignments are dropped, sessions
+// logged, and observer disconnects gathered for emission outside the
+// lock (alongside any lingering agent connections to close). Must run
+// with c.mu held.
+func (c *Controller) expireLocked(ts int64) ([]lifecycleEvent, []*Conn) {
+	if c.leaseSeconds <= 0 {
+		return nil, nil
+	}
+	var evs []lifecycleEvent
+	var conns []*Conn
+	for id, entry := range c.aps {
+		if entry.static || ts-entry.lastSeen <= c.leaseSeconds {
+			continue
+		}
+		for u := range entry.users {
+			delete(c.assignments, u)
+			c.sessionRecordLocked(u, id, ts)
+			delete(c.assignedAt, u)
+			delete(c.servedByUsr, u)
+			evs = append(evs, lifecycleEvent{user: u, ap: id, ts: ts})
+		}
+		if entry.agentConn != nil {
+			conns = append(conns, entry.agentConn)
+		}
+		c.logger.Printf("ap %s lease expired (silent %ds, %d users re-homed)",
+			id, ts-entry.lastSeen, len(entry.users))
+		delete(c.aps, id)
+		c.version++
+		obsLeaseExpired.Inc()
+	}
+	return evs, conns
+}
+
+// emitLifecycle closes superseded connections and delivers deferred
+// observer disconnects. Must run without c.mu held.
+func (c *Controller) emitLifecycle(evs []lifecycleEvent, conns []*Conn) {
+	for _, conn := range conns {
+		conn.Close()
+	}
+	if c.observer == nil {
+		return
+	}
+	for _, e := range evs {
+		if err := c.observer.Disconnect(e.user, e.ap, e.ts); err != nil {
+			c.logger.Printf("observer disconnect %s: %v", e.user, err)
 		}
 	}
 }
@@ -422,10 +686,11 @@ func (c *Controller) viewsLocked() []wlan.APView {
 }
 
 // Snapshot reports the controller's current state for inspection: per-AP
-// associated users and served volume.
+// associated users and served volume. Taking a snapshot also sweeps
+// expired leases, so it reflects only live APs.
 func (c *Controller) Snapshot() map[trace.APID]APStatus {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	evs, conns := c.expireLocked(c.now())
 	out := make(map[trace.APID]APStatus, len(c.aps))
 	for id, entry := range c.aps {
 		users := make([]trace.UserID, 0, len(entry.users))
@@ -440,6 +705,8 @@ func (c *Controller) Snapshot() map[trace.APID]APStatus {
 			ServedBytes: c.served[id],
 		}
 	}
+	c.mu.Unlock()
+	c.emitLifecycle(evs, conns)
 	return out
 }
 

@@ -17,6 +17,27 @@
 // fields are ignored, which keeps old agents compatible with newer
 // controllers.
 //
+// Lifecycle and failure model: AP registrations made by agents are
+// leases — every hello and load report renews them, a re-hello from a
+// reconnecting (or restarted) agent supersedes the previous connection,
+// and an AP whose agent stays silent past the lease is expired, its
+// believed users re-homed through the association observer and the
+// session log. Agents built with DialAPReconnecting redial with
+// exponential backoff and jitter when their connection drops. The
+// controller's association path snapshots AP state under a short
+// critical section and runs the policy lock-free, re-running stale
+// decisions via a versioned check-and-retry, so concurrent stations do
+// not serialize behind one beam search. Health counters (registrations,
+// renewals, lease expiries, accept retries, selection retries, agent
+// reconnects, rejected traffic) are exported through internal/obs under
+// the protocol.* prefix.
+//
+// The faultconn subpackage wraps connections and listeners with seeded
+// fault injection (drops, torn frames, delays, mid-stream closes,
+// transient accept errors) for the lifecycle tests and the s3proto
+// chaos soak.
+//
 // Command s3proto wraps this package into a runnable demo (controller,
-// N agents and a scripted station workload in one process).
+// N agents and a scripted station workload in one process) and a chaos
+// soak (-chaos).
 package protocol

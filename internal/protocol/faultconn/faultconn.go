@@ -1,0 +1,229 @@
+// Package faultconn wraps net.Conn and net.Listener with seeded,
+// schedulable fault injection: dropped and partial writes, injected
+// read/write errors, delays, mid-stream closes, and transient accept
+// failures. The protocol lifecycle tests and the s3proto chaos demo use
+// it to subject the live controller to exactly the churn the paper
+// studies — peers that vanish, reconnect, and misbehave — while staying
+// reproducible: every probabilistic decision comes from a seeded
+// generator, and listener-wrapped connections derive per-connection
+// seeds with a splitmix64 finalizer (same discipline as
+// internal/runner's DeriveSeed).
+package faultconn
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks a failure manufactured by the wrapper (as opposed to
+// one surfaced by the real transport).
+var ErrInjected = errors.New("faultconn: injected error")
+
+// Config is a fault schedule. Probabilities are per operation in [0,1];
+// zero values inject nothing, so Config{} is a transparent wrapper.
+type Config struct {
+	// Seed seeds the decision stream.
+	Seed int64
+	// DropWriteProb silently discards a write (reported as fully
+	// written) — the classic lost report.
+	DropWriteProb float64
+	// PartialWriteProb writes only a prefix, then closes the transport
+	// and returns ErrInjected — a frame torn mid-stream.
+	PartialWriteProb float64
+	// WriteErrProb fails a write with ErrInjected and closes the
+	// transport.
+	WriteErrProb float64
+	// ReadErrProb fails a read with ErrInjected and closes the
+	// transport.
+	ReadErrProb float64
+	// DelayProb stalls an operation for a uniform duration in
+	// (0, MaxDelay].
+	DelayProb float64
+	// MaxDelay bounds injected delays (default 5ms when DelayProb > 0).
+	MaxDelay time.Duration
+	// CloseAfterWrites closes the transport mid-stream after that many
+	// successful writes (0 = never).
+	CloseAfterWrites int
+	// CloseAfterReads closes the transport after that many successful
+	// reads (0 = never).
+	CloseAfterReads int
+}
+
+// Conn wraps a net.Conn with the fault schedule in Config. Safe for one
+// concurrent reader plus one concurrent writer (the net.Conn contract).
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	reads  int
+	writes int
+}
+
+// Wrap decorates conn with the fault schedule cfg.
+func Wrap(conn net.Conn, cfg Config) *Conn {
+	return &Conn{
+		Conn: conn,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// decision is one sampled fault outcome.
+type decision struct {
+	delay   time.Duration
+	err     bool // inject an error and close
+	partial bool // write a prefix, then close (writes only)
+	drop    bool // discard the write, report success (writes only)
+	closed  bool // operation quota reached: close mid-stream
+}
+
+func (c *Conn) decide(write bool) decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var d decision
+	if c.cfg.DelayProb > 0 && c.rng.Float64() < c.cfg.DelayProb {
+		max := c.cfg.MaxDelay
+		if max <= 0 {
+			max = 5 * time.Millisecond
+		}
+		d.delay = time.Duration(c.rng.Int63n(int64(max))) + 1
+	}
+	if write {
+		c.writes++
+		if c.cfg.CloseAfterWrites > 0 && c.writes > c.cfg.CloseAfterWrites {
+			d.closed = true
+			return d
+		}
+		switch {
+		case c.cfg.DropWriteProb > 0 && c.rng.Float64() < c.cfg.DropWriteProb:
+			d.drop = true
+		case c.cfg.PartialWriteProb > 0 && c.rng.Float64() < c.cfg.PartialWriteProb:
+			d.partial = true
+		case c.cfg.WriteErrProb > 0 && c.rng.Float64() < c.cfg.WriteErrProb:
+			d.err = true
+		}
+		return d
+	}
+	c.reads++
+	if c.cfg.CloseAfterReads > 0 && c.reads > c.cfg.CloseAfterReads {
+		d.closed = true
+		return d
+	}
+	if c.cfg.ReadErrProb > 0 && c.rng.Float64() < c.cfg.ReadErrProb {
+		d.err = true
+	}
+	return d
+}
+
+// Read applies the read-side fault schedule, then reads from the
+// transport.
+func (c *Conn) Read(p []byte) (int, error) {
+	d := c.decide(false)
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	if d.closed || d.err {
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	return c.Conn.Read(p)
+}
+
+// Write applies the write-side fault schedule, then writes to the
+// transport.
+func (c *Conn) Write(p []byte) (int, error) {
+	d := c.decide(true)
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	switch {
+	case d.closed:
+		c.Conn.Close()
+		return 0, ErrInjected
+	case d.drop:
+		return len(p), nil
+	case d.partial:
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.Conn.Close()
+		return n, ErrInjected
+	case d.err:
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps every accepted connection with Config, deriving a
+// distinct per-connection seed from Config.Seed so runs stay
+// reproducible without every connection sharing one fault stream.
+type Listener struct {
+	net.Listener
+	Config Config
+
+	mu sync.Mutex
+	n  int64
+}
+
+// Accept accepts from the underlying listener and wraps the connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.n++
+	n := l.n
+	l.mu.Unlock()
+	cfg := l.Config
+	cfg.Seed = DeriveSeed(l.Config.Seed, n)
+	return Wrap(conn, cfg), nil
+}
+
+// FlakyListener injects transient accept errors: the first FailFirst
+// Accept calls fail, and with FailEvery > 0 every FailEvery-th call
+// after that fails too. Injected errors satisfy net.Error with
+// Temporary() true, mimicking ECONNABORTED/EMFILE bursts; the pending
+// connection is not consumed, so a retrying accept loop eventually gets
+// it.
+type FlakyListener struct {
+	net.Listener
+	FailFirst int
+	FailEvery int
+
+	mu    sync.Mutex
+	calls int
+}
+
+// Accept fails per the schedule, otherwise accepts from the underlying
+// listener.
+func (l *FlakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	l.calls++
+	n := l.calls
+	l.mu.Unlock()
+	if n <= l.FailFirst || (l.FailEvery > 0 && n > l.FailFirst && (n-l.FailFirst)%l.FailEvery == 0) {
+		return nil, tempError{}
+	}
+	return l.Listener.Accept()
+}
+
+// tempError is a transient net.Error.
+type tempError struct{}
+
+func (tempError) Error() string   { return "faultconn: transient accept error" }
+func (tempError) Timeout() bool   { return false }
+func (tempError) Temporary() bool { return true }
+
+// DeriveSeed maps (base, i) to an independent stream seed via the
+// splitmix64 finalizer.
+func DeriveSeed(base, i int64) int64 {
+	z := uint64(base) + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

@@ -71,15 +71,45 @@ func TestAPRegistrationAndReports(t *testing.T) {
 	}
 }
 
-func TestDuplicateAPRejected(t *testing.T) {
-	_, addr := startController(t, baseline.LLF{})
+// TestDuplicateAPTakesOver: a second agent hello for the same AP is a
+// renewal that supersedes the previous connection (a half-open TCP
+// session is indistinguishable from a live one, so the newest agent
+// wins), never a permanent "already registered" rejection.
+func TestDuplicateAPTakesOver(t *testing.T) {
+	c, addr := startController(t, baseline.LLF{})
 	a1, err := DialAP(addr, "ap1", 1e6, testTimeout)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a1.Close()
-	if _, err := DialAP(addr, "ap1", 1e6, testTimeout); err == nil {
-		t.Error("duplicate AP registration should fail")
+	a2, err := DialAP(addr, "ap1", 2e6, testTimeout)
+	if err != nil {
+		t.Fatalf("re-hello should take over, got %v", err)
+	}
+	defer a2.Close()
+	if err := a2.Report(777); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(testTimeout)
+	for {
+		snap := c.Snapshot()
+		if st, ok := snap["ap1"]; ok && st.ReportedBps == 777 && st.CapacityBps == 2e6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("takeover not applied: %+v", c.Snapshot())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(c.Snapshot()) != 1 {
+		t.Errorf("AP registered more than once: %+v", c.Snapshot())
+	}
+	// A static registration is not up for takeover by agents.
+	if err := c.RegisterAP("ap-static", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialAP(addr, "ap-static", 1e6, testTimeout); err == nil {
+		t.Error("agent hello for a statically registered AP should fail")
 	}
 }
 
