@@ -7,8 +7,16 @@
 // Usage:
 //
 //	s3proto -listen 127.0.0.1:7788 -policy s3     # standalone controller
+//	s3proto -policy s3-live -refresh-every 5s     # learn sociality live
 //	s3proto -demo                                  # end-to-end demo
 //	s3proto -chaos -chaos-dur 5s                   # churn + fault soak
+//
+// The s3-live policy runs the incremental social-state engine
+// (internal/society/incremental) in the control loop: the controller's
+// association events feed the engine, the engine publishes immutable θ
+// snapshots on a refresh tick, and the S³ selector reads them lock-free.
+// The type prior is seeded from a batch-trained model; P(L|E) is learned
+// live from the deployment's own co-leavings.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"github.com/s3wlan/s3wlan/internal/protocol"
 	"github.com/s3wlan/s3wlan/internal/protocol/faultconn"
 	"github.com/s3wlan/s3wlan/internal/society"
+	"github.com/s3wlan/s3wlan/internal/society/incremental"
 	"github.com/s3wlan/s3wlan/internal/synth"
 	"github.com/s3wlan/s3wlan/internal/trace"
 	"github.com/s3wlan/s3wlan/internal/wlan"
@@ -49,7 +58,9 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("s3proto", flag.ContinueOnError)
 	var (
 		listen   = fs.String("listen", "127.0.0.1:0", "controller listen address")
-		policy   = fs.String("policy", "s3", "association policy: s3 or llf")
+		policy   = fs.String("policy", "s3", "association policy: s3, s3-live or llf")
+		refEvery = fs.Duration("refresh-every", 5*time.Second, "s3-live: periodic snapshot refresh interval")
+		refEvts  = fs.Int("refresh-events", 256, "s3-live: also refresh after this many association events (0 = periodic only)")
 		demo     = fs.Bool("demo", false, "run the self-contained demo (controller + APs + stations)")
 		chaos    = fs.Bool("chaos", false, "run the churn soak: faulty connections, agent kills, station churn")
 		chaosDur = fs.Duration("chaos-dur", 5*time.Second, "chaos soak duration")
@@ -62,13 +73,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	selector, err := buildSelector(*policy)
+	selector, engine, err := buildSelector(*policy, *refEvts)
 	if err != nil {
 		return err
 	}
 	var opts []protocol.ControllerOption
 	if *verbose {
 		opts = append(opts, protocol.WithLogger(log.New(out, "controller: ", log.Ltime)))
+	}
+	if engine != nil {
+		opts = append(opts,
+			protocol.WithObserver(engine),
+			protocol.WithRefresher(func() { engine.Refresh() }, *refEvery))
 	}
 
 	if *chaos {
@@ -93,7 +109,17 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "controller (%s policy) listening on %s\n", selector.Name(), addr)
 
 	if *demo {
-		return runDemo(ctl, addr, out)
+		if err := runDemo(ctl, addr, out); err != nil {
+			return err
+		}
+		if engine != nil {
+			engine.Refresh()
+			s := engine.Snapshot()
+			fmt.Fprintf(out, "\nlive social state: snapshot #%d, %d users, %d edges, %d components\n",
+				s.Seq, s.Users, s.Edges, s.NumComponents())
+			writeHealth(out)
+		}
+		return nil
 	}
 
 	// Standalone: serve until interrupted.
@@ -104,32 +130,57 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// buildSelector returns the requested policy. The S³ policy is trained on
-// a small generated campus so the demo has a sociality model to work
+// buildSelector returns the requested policy. The S³ policies are primed
+// on a small generated campus so the demo has a sociality model to work
 // with; a production deployment would train on the site's own history.
-func buildSelector(policy string) (wlan.Selector, error) {
+// For s3-live the returned engine is non-nil and must be wired to the
+// controller as observer and refresher: it serves the batch-trained type
+// prior immediately and learns P(L|E) from the live association stream.
+func buildSelector(policy string, refreshEvents int) (wlan.Selector, *incremental.Engine, error) {
 	switch policy {
 	case "llf":
-		return baseline.LLF{}, nil
+		return baseline.LLF{}, nil, nil
 	case "s3":
-		cfg := synth.DefaultConfig()
-		cfg.Users = 120
-		cfg.Buildings = 2
-		cfg.APsPerBuilding = 3
-		cfg.Days = 10
-		tr, _, err := synth.Generate(cfg)
+		model, err := trainDemoModel()
 		if err != nil {
-			return nil, fmt.Errorf("generate training campus: %w", err)
+			return nil, nil, err
 		}
-		profiles := apps.BuildProfiles(tr.Flows, cfg.Epoch, apps.NewClassifier())
-		model, err := society.Train(tr, profiles, society.DefaultConfig())
+		sel, err := core.NewSelector(model, core.DefaultSelectorConfig())
+		return sel, nil, err
+	case "s3-live":
+		model, err := trainDemoModel()
 		if err != nil {
-			return nil, fmt.Errorf("train sociality model: %w", err)
+			return nil, nil, err
 		}
-		return core.NewSelector(model, core.DefaultSelectorConfig())
+		cfg := incremental.DefaultConfig()
+		cfg.RefreshEvents = refreshEvents
+		engine := incremental.New(cfg)
+		engine.SetTypes(model.Types, model.TypeMatrix)
+		engine.Refresh()
+		sel, err := core.NewSelector(engine, core.DefaultSelectorConfig())
+		return sel, engine, err
 	default:
-		return nil, fmt.Errorf("unknown policy %q (want s3 or llf)", policy)
+		return nil, nil, fmt.Errorf("unknown policy %q (want s3, s3-live or llf)", policy)
 	}
+}
+
+// trainDemoModel batch-trains a sociality model on a generated campus.
+func trainDemoModel() (*society.Model, error) {
+	cfg := synth.DefaultConfig()
+	cfg.Users = 120
+	cfg.Buildings = 2
+	cfg.APsPerBuilding = 3
+	cfg.Days = 10
+	tr, _, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("generate training campus: %w", err)
+	}
+	profiles := apps.BuildProfiles(tr.Flows, cfg.Epoch, apps.NewClassifier())
+	model, err := society.Train(tr, profiles, society.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("train sociality model: %w", err)
+	}
+	return model, nil
 }
 
 // runDemo registers AP agents and walks a handful of stations through the
@@ -328,18 +379,26 @@ func runChaos(selector wlan.Selector, opts []protocol.ControllerOption, cfg chao
 	return nil
 }
 
-// writeHealth prints the protocol.* health counters from the obs
-// registry in sorted order.
+// writeHealth prints the protocol.* and society.* health metrics
+// (counters and gauges) from the obs registry in sorted order.
 func writeHealth(out io.Writer) {
 	snap := obs.TakeSnapshot()
-	names := make([]string, 0, len(snap.Counters))
-	for name := range snap.Counters {
-		if strings.HasPrefix(name, "protocol.") {
+	vals := make(map[string]int64, len(snap.Counters)+len(snap.Gauges))
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
+	add := func(name string, v int64) {
+		if strings.HasPrefix(name, "protocol.") || strings.HasPrefix(name, "society.") {
 			names = append(names, name)
+			vals[name] = v
 		}
+	}
+	for name, v := range snap.Counters {
+		add(name, v)
+	}
+	for name, v := range snap.Gauges {
+		add(name, v)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Fprintf(out, "  %s = %d\n", name, snap.Counters[name])
+		fmt.Fprintf(out, "  %s = %d\n", name, vals[name])
 	}
 }

@@ -56,13 +56,45 @@ func TestRunUnknownPolicy(t *testing.T) {
 }
 
 func TestBuildSelector(t *testing.T) {
-	if sel, err := buildSelector("llf"); err != nil || sel.Name() != "LLF" {
-		t.Errorf("llf selector = %v, %v", sel, err)
+	if sel, eng, err := buildSelector("llf", 0); err != nil || sel.Name() != "LLF" || eng != nil {
+		t.Errorf("llf selector = %v, %v, %v", sel, eng, err)
 	}
-	if sel, err := buildSelector("s3"); err != nil || sel.Name() != "S3" {
-		t.Errorf("s3 selector = %v, %v", sel, err)
+	if sel, eng, err := buildSelector("s3", 0); err != nil || sel.Name() != "S3" || eng != nil {
+		t.Errorf("s3 selector = %v, %v, %v", sel, eng, err)
 	}
-	if _, err := buildSelector("nope"); err == nil {
+	if _, _, err := buildSelector("nope", 0); err == nil {
 		t.Error("unknown policy should error")
+	}
+}
+
+func TestBuildSelectorS3Live(t *testing.T) {
+	sel, eng, err := buildSelector("s3-live", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Name() != "S3" {
+		t.Errorf("selector = %q, want S3", sel.Name())
+	}
+	if eng == nil {
+		t.Fatal("s3-live must return the engine")
+	}
+	// The batch-trained type prior is already published: the initial
+	// snapshot exists and carries the trained type assignment.
+	if s := eng.Snapshot(); s.Seq == 0 {
+		t.Error("engine should have published the seeded snapshot")
+	}
+}
+
+func TestRunDemoS3Live(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-demo", "-policy", "s3-live", "-refresh-every", "10ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "live social state") {
+		t.Errorf("missing live engine summary: %s", out)
+	}
+	if !strings.Contains(out, "society.inc.refreshes") {
+		t.Errorf("missing society health metrics: %s", out)
 	}
 }

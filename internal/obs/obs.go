@@ -42,6 +42,19 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is a point-in-time value that can move both ways — a snapshot
+// sequence number, a published-state age, a queue depth. Unlike Counter
+// it is Set, not accumulated.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Timer accumulates total duration and call count of a code region.
 type Timer struct {
 	count atomic.Int64
@@ -118,6 +131,7 @@ func (h *Histogram) Total() time.Duration { return time.Duration(h.nanos.Load())
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 	timers     map[string]*Timer
 	histograms map[string]*Histogram
 }
@@ -139,6 +153,22 @@ func (r *Registry) GetCounter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// GetGauge returns the registry's gauge with the given name, creating
+// it on first use.
+func (r *Registry) GetGauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // GetTimer returns the registry's timer with the given name, creating
@@ -181,6 +211,9 @@ func (r *Registry) Reset() {
 	for _, c := range r.counters {
 		c.v.Store(0)
 	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
 	for _, t := range r.timers {
 		t.count.Store(0)
 		t.nanos.Store(0)
@@ -197,6 +230,9 @@ func (r *Registry) Reset() {
 
 // GetCounter returns a counter from the default registry.
 func GetCounter(name string) *Counter { return Default.GetCounter(name) }
+
+// GetGauge returns a gauge from the default registry.
+func GetGauge(name string) *Gauge { return Default.GetGauge(name) }
 
 // GetTimer returns a timer from the default registry.
 func GetTimer(name string) *Timer { return Default.GetTimer(name) }
@@ -228,6 +264,7 @@ type HistogramSnapshot struct {
 // for a given metric state).
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Timers     map[string]TimerSnapshot     `json:"timers,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
@@ -243,6 +280,12 @@ func (r *Registry) TakeSnapshot() Snapshot {
 		snap.Counters = make(map[string]int64, len(r.counters))
 		for name, c := range r.counters {
 			snap.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Value()
 		}
 	}
 	if len(r.timers) > 0 {
@@ -299,6 +342,9 @@ func (r *Registry) Names() []string {
 	defer r.mu.Unlock()
 	var names []string
 	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
 		names = append(names, n)
 	}
 	for n := range r.timers {

@@ -61,6 +61,30 @@ func TestTimerAndHistogramConcurrent(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	r := &Registry{}
+	g := r.GetGauge("test.gauge")
+	if g.Value() != 0 {
+		t.Errorf("zero gauge = %d", g.Value())
+	}
+	g.Set(42)
+	g.Set(7) // gauges move both ways
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+	if r.GetGauge("test.gauge") != g {
+		t.Error("GetGauge must return the same instance")
+	}
+	snap := r.TakeSnapshot()
+	if snap.Gauges["test.gauge"] != 7 {
+		t.Errorf("snapshot gauge = %d, want 7", snap.Gauges["test.gauge"])
+	}
+	r.Reset()
+	if g.Value() != 0 {
+		t.Errorf("gauge after reset = %d, want 0", g.Value())
+	}
+}
+
 func TestGetReturnsSameMetric(t *testing.T) {
 	r := &Registry{}
 	if r.GetCounter("x") != r.GetCounter("x") {

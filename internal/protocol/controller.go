@@ -86,6 +86,11 @@ type Controller struct {
 	observer AssociationObserver
 	now      func() int64
 
+	// refreshFn, when set, runs every refreshEvery while serving (see
+	// WithRefresher).
+	refreshFn    func()
+	refreshEvery time.Duration
+
 	// leaseSeconds is how long an agent-registered AP survives without a
 	// hello or report before it is expired (0 = leases disabled).
 	leaseSeconds int64
@@ -138,6 +143,18 @@ func WithClock(now func() int64) ControllerOption {
 // added with RegisterAP are static and never expire.
 func WithLease(seconds int64) ControllerOption {
 	return func(c *Controller) { c.leaseSeconds = seconds }
+}
+
+// WithRefresher runs fn every interval on a background goroutine while
+// the controller is serving — the hook that keeps an incremental
+// social-state engine (society/incremental) publishing fresh snapshots
+// under a live controller. The goroutine starts with Serve/Listen and
+// stops with Close.
+func WithRefresher(fn func(), every time.Duration) ControllerOption {
+	return func(c *Controller) {
+		c.refreshFn = fn
+		c.refreshEvery = every
+	}
 }
 
 // WithSessionLog makes the controller record every completed association
@@ -254,7 +271,26 @@ func (c *Controller) Serve(ln net.Listener) string {
 	c.mu.Unlock()
 	c.wg.Add(1)
 	go c.acceptLoop(ln, stop)
+	if c.refreshFn != nil && c.refreshEvery > 0 {
+		c.wg.Add(1)
+		go c.refreshLoop(stop)
+	}
 	return ln.Addr().String()
+}
+
+// refreshLoop drives the WithRefresher hook until the controller closes.
+func (c *Controller) refreshLoop(stop chan struct{}) {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.refreshEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			c.refreshFn()
+		}
+	}
 }
 
 // acceptLoop accepts peers until the listener is closed. Transient

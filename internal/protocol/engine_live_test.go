@@ -1,0 +1,102 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"github.com/s3wlan/s3wlan/internal/core"
+	"github.com/s3wlan/s3wlan/internal/society/incremental"
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// TestIncrementalEngineLiveLoop closes the paper's future-work loop over
+// real TCP: one incremental engine learns from the controller's
+// association events (AssociationObserver), publishes snapshots on the
+// WithRefresher tick, and serves θ to the S³ selector lock-free
+// (core.SocialIndex) — controller events in, dispersal decisions out.
+func TestIncrementalEngineLiveLoop(t *testing.T) {
+	cfg := incremental.DefaultConfig()
+	cfg.Society.MinEncounters = 1
+	cfg.RefreshEvents = 0 // only the controller's refresher publishes
+	eng := incremental.New(cfg)
+
+	// Prime the engine with history: alice and bob are tight friends.
+	ts := int64(0)
+	for i := 0; i < 3; i++ {
+		eng.Connect("alice", "cafe", ts)
+		eng.Connect("bob", "cafe", ts)
+		if err := eng.Disconnect("alice", "cafe", ts+3600); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Disconnect("bob", "cafe", ts+3650); err != nil {
+			t.Fatal(err)
+		}
+		ts += 8000
+	}
+	if got := eng.Index("alice", "bob"); got != 0 {
+		t.Fatalf("θ before any refresh = %v, want 0 (stale empty snapshot)", got)
+	}
+
+	sel, err := core.NewSelector(eng, core.DefaultSelectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(sel,
+		WithTimeout(testTimeout),
+		WithObserver(eng),
+		WithRefresher(func() { eng.Refresh() }, 2*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := c.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.RegisterAP("ap1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterAP("ap2", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The refresher must publish the primed history without any manual
+	// Refresh call.
+	deadline := time.Now().Add(testTimeout)
+	for eng.Index("alice", "bob") != 1.0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("refresher never published: θ = %v, snapshot %+v",
+				eng.Index("alice", "bob"), eng.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	assign := func(user trace.UserID) trace.APID {
+		st, err := DialStation(addr, user, testTimeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		ap, err := st.Associate(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ap
+	}
+	if apAlice, apBob := assign("alice"), assign("bob"); apAlice == apBob {
+		t.Errorf("friends colocated on %s despite θ = 1", apAlice)
+	}
+
+	// The association events flowed back into the engine: a never-before
+	// seen station becomes a vertex in the next published snapshot.
+	assign("carol")
+	deadline = time.Now().Add(testTimeout)
+	for eng.Snapshot().Users != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("observer events not learned: snapshot has %d users, want 3",
+				eng.Snapshot().Users)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -200,3 +200,23 @@ func ExtractCliqueCover(g *Graph) [][]trace.UserID {
 	}
 	return cover
 }
+
+// SortCover orders a clique cover canonically in place: cliques with
+// more members first, ties broken lexicographically by (member-sorted)
+// contents. Extraction order carries no semantics once a cover is a
+// partition, so splicing per-component covers (the incremental engine)
+// and whole-graph extraction agree exactly after canonicalization.
+func SortCover(cover [][]trace.UserID) {
+	sort.Slice(cover, func(i, j int) bool {
+		a, b := cover[i], cover[j]
+		if len(a) != len(b) {
+			return len(a) > len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

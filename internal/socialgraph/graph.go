@@ -45,6 +45,13 @@ func (g *Graph) AddEdge(u, v trace.UserID, weight float64) {
 	g.adj[v][u] = weight
 }
 
+// RemoveEdge deletes the undirected edge u—v if present. The vertices
+// remain.
+func (g *Graph) RemoveEdge(u, v trace.UserID) {
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+}
+
 // RemoveVertex deletes u and all its incident edges.
 func (g *Graph) RemoveVertex(u trace.UserID) {
 	for v := range g.adj[u] {
@@ -164,6 +171,39 @@ func (g *Graph) ConnectedComponents() [][]trace.UserID {
 		comps = append(comps, comp)
 	}
 	return comps
+}
+
+// ForEachEdge visits every undirected edge once, as (u, v, weight) with
+// u < v. Visit order is unspecified; callers needing determinism must
+// not depend on it.
+func (g *Graph) ForEachEdge(fn func(u, v trace.UserID, w float64)) {
+	for u, nbrs := range g.adj {
+		for v, w := range nbrs {
+			if u < v {
+				fn(u, v, w)
+			}
+		}
+	}
+}
+
+// InducedSubgraph returns a fresh graph over the given vertices with
+// every edge of g whose endpoints both lie in the set. The result shares
+// no storage with g.
+func (g *Graph) InducedSubgraph(verts []trace.UserID) *Graph {
+	in := make(map[trace.UserID]bool, len(verts))
+	for _, u := range verts {
+		in[u] = true
+	}
+	sub := New()
+	for _, u := range verts {
+		sub.AddVertex(u)
+		for v, w := range g.adj[u] {
+			if in[v] {
+				sub.adj[u][v] = w
+			}
+		}
+	}
+	return sub
 }
 
 // String renders a compact summary for debugging.

@@ -142,6 +142,58 @@ func TestConnectedComponents(t *testing.T) {
 	}
 }
 
+func TestInducedSubgraph(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", 0.5)
+	g.AddEdge("b", "c", 0.6)
+	g.AddEdge("c", "d", 0.7)
+	g.AddVertex("e")
+	sub := g.InducedSubgraph([]trace.UserID{"a", "b", "c", "e"})
+	if sub.NumVertices() != 4 {
+		t.Errorf("vertices = %d, want 4", sub.NumVertices())
+	}
+	if sub.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2 (a-b, b-c)", sub.NumEdges())
+	}
+	if w, ok := sub.Weight("b", "c"); !ok || w != 0.6 {
+		t.Errorf("weight(b,c) = %v, %v", w, ok)
+	}
+	if sub.HasEdge("c", "d") {
+		t.Error("edge to excluded vertex must not survive")
+	}
+	// The subgraph must not share storage with the original.
+	sub.AddEdge("a", "e", 0.9)
+	if g.HasEdge("a", "e") {
+		t.Error("subgraph mutation leaked into the source graph")
+	}
+}
+
+func TestSortCover(t *testing.T) {
+	cover := [][]trace.UserID{
+		{"x"},
+		{"b", "c"},
+		{"a", "d"},
+		{"p", "q", "r"},
+	}
+	SortCover(cover)
+	want := [][]trace.UserID{
+		{"p", "q", "r"},
+		{"a", "d"},
+		{"b", "c"},
+		{"x"},
+	}
+	for i := range want {
+		if len(cover[i]) != len(want[i]) {
+			t.Fatalf("cover[%d] = %v, want %v", i, cover[i], want[i])
+		}
+		for j := range want[i] {
+			if cover[i][j] != want[i][j] {
+				t.Fatalf("cover[%d] = %v, want %v", i, cover[i], want[i])
+			}
+		}
+	}
+}
+
 func TestFromThreshold(t *testing.T) {
 	users := []trace.UserID{"a", "b", "c"}
 	idx := func(u, v trace.UserID) float64 {

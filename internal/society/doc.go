@@ -1,0 +1,30 @@
+// Package society implements the sociality-learning pipeline of S³:
+// extracting encounter and co-leaving events from session logs, estimating
+// per-pair co-leaving probabilities P(L|E), building the type matrix
+// T(type_i, type_j) from application-usage clusters, and composing the
+// social relation index θ(u,v) = P(L|E) + α·T that drives AP selection.
+//
+// Two training modes coexist:
+//
+//   - Batch: Train consumes a recorded trace (the paper's back-end login
+//     logs) and produces an immutable Model in one pass. Use it for
+//     offline evaluation and for the periodic re-clustering that assigns
+//     user types.
+//
+//   - Online: OnlineLearner ingests Connect/Disconnect events as they
+//     happen and keeps the pair statistics current, for a controller that
+//     learns continuously (the paper's future-work deployment mode).
+//     Encounters are counted per presence — a user's stacked overlapping
+//     sessions on one AP form a single continuous presence, so the same
+//     co-presence period is never tallied twice — and co-leavings per
+//     session end, matching the paper's event definitions. Model()
+//     snapshots the statistics into a batch-equivalent Model.
+//
+// Turning online statistics into selector-ready state (θ-graph and
+// clique cover) on every refresh is a full rebuild; the subpackage
+// society/incremental avoids that by maintaining the θ-graph edge by
+// edge and re-solving cliques only on dirty connected components. Prefer
+// batch Train for reproducing the paper's figures; prefer OnlineLearner +
+// incremental.Engine for live controllers where refresh cost must track
+// churn, not population.
+package society

@@ -1,8 +1,3 @@
-// Package society implements the sociality-learning pipeline of S³:
-// extracting encounter and co-leaving events from session logs, estimating
-// per-pair co-leaving probabilities P(L|E), building the type matrix
-// T(type_i, type_j) from application-usage clusters, and composing the
-// social relation index θ(u,v) = P(L|E) + α·T that drives AP selection.
 package society
 
 import (

@@ -1,0 +1,554 @@
+// Package incremental is the incremental social-state engine: it keeps
+// the S³ θ-graph and its clique cover current as Connect/Disconnect
+// events arrive, without ever re-solving the whole population.
+//
+// The batch path (society.Train or OnlineLearner.Model followed by
+// socialgraph.FromThreshold and ExtractCliqueCover) rebuilds everything
+// per refresh: O(n²) θ evaluations plus iterated maximum-clique — NP-hard
+// — over the entire population. But enterprise-WLAN social graphs are
+// sparse and strongly clustered (Hsu & Helmy), so one session end
+// perturbs only the handful of pairs the leaving user co-resided with,
+// and therefore only one small connected component of the θ-graph. The
+// engine exploits that:
+//
+//   - every Disconnect reports exactly which pairs' statistics moved
+//     (OnlineLearner.DisconnectTouched); the engine recomputes those θ
+//     values and stages edge insertions/removals/weight changes;
+//   - a refresh re-runs ExtractCliqueCover only on the connected
+//     components containing a staged change (dirty components — merges
+//     and splits are handled by re-walking the affected region), and
+//     splices the refreshed cliques into the cached cover;
+//   - the result is published as an immutable Snapshot behind an
+//     atomic.Pointer: selectors and the protocol controller's lock-free
+//     Associate path read θ with zero locking, while the engine keeps
+//     learning behind its own mutex.
+//
+// Equivalence is the correctness bar: after any refresh the snapshot's
+// graph and cover match batch FromThreshold + ExtractCliqueCover over
+// the same learner state (see the property tests). SetTypes is the one
+// global operation — a new type assignment moves every θ — and triggers
+// a full rebuild on the next refresh.
+package incremental
+
+import (
+	"time"
+
+	"github.com/s3wlan/s3wlan/internal/obs"
+	"github.com/s3wlan/s3wlan/internal/socialgraph"
+	"github.com/s3wlan/s3wlan/internal/society"
+	"github.com/s3wlan/s3wlan/internal/trace"
+
+	"sync"
+	"sync/atomic"
+)
+
+// Refresh observability: edge/component/clique churn per refresh, the
+// refresh latency, and the age of the state a new snapshot replaces.
+var (
+	obsEvents     = obs.GetCounter("society.inc.events")
+	obsEdgesChg   = obs.GetCounter("society.inc.edges_changed")
+	obsCompsDirty = obs.GetCounter("society.inc.components_dirty")
+	obsCliques    = obs.GetCounter("society.inc.cliques_resolved")
+	obsRefreshes  = obs.GetCounter("society.inc.refreshes")
+	obsFull       = obs.GetCounter("society.inc.full_rebuilds")
+	obsRefresh    = obs.GetHistogram("society.inc.refresh")
+	obsSnapAge    = obs.GetHistogram("society.inc.snapshot_age")
+	obsSeq        = obs.GetGauge("society.inc.snapshot_seq")
+	obsUsers      = obs.GetGauge("society.inc.users")
+	obsEdges      = obs.GetGauge("society.inc.edges")
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Society holds the learner parameters (windows, support, α).
+	Society society.Config
+	// EdgeThreshold is the θ cut above which a pair is an edge of the
+	// social graph; the paper uses 0.3. Defaulted when ≤ 0.
+	EdgeThreshold float64
+	// RefreshEvents, when > 0, auto-publishes a refresh after that many
+	// mutating events (connects + disconnects) since the last one. Set 0
+	// for purely manual / periodic refreshing.
+	RefreshEvents int
+}
+
+// DefaultConfig returns the paper's operating point with auto-refresh
+// every 256 events.
+func DefaultConfig() Config {
+	return Config{
+		Society:       society.DefaultConfig(),
+		EdgeThreshold: 0.3,
+		RefreshEvents: 256,
+	}
+}
+
+// pendingEdge is a staged θ-graph edge mutation.
+type pendingEdge struct {
+	weight  float64
+	present bool
+}
+
+// Engine is the incremental social-state engine. Event methods
+// (Connect, Disconnect, SetTypes) and Refresh serialize on an internal
+// mutex; Index and Snapshot are lock-free reads of the last published
+// snapshot and may run concurrently with everything else.
+//
+// Engine implements protocol.AssociationObserver (learn from a live
+// controller), wlan.AssociationObserver (learn from a simulation) and
+// core.SocialIndex (drive a selector), so one instance closes the loop:
+// controller events in, association decisions out.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	learner *society.OnlineLearner
+	users   map[trace.UserID]struct{}
+	// comps and compOf hold the current components; comps is cloned at
+	// the start of every refresh (copy-on-write) because the previous
+	// clone was published in a snapshot and must never change again.
+	comps  map[trace.UserID]*component
+	compOf map[trace.UserID]*component
+	index  *pairIndex
+	edges  int
+
+	// Current type assignment (replaced wholesale by SetTypes; the maps
+	// are shared with published indexes and never mutated in place).
+	types  map[trace.UserID]int
+	matrix [][]float64
+	// byType lists seen users per type; consulted only when some type
+	// pair's α·T prior alone crosses the edge threshold.
+	byType     map[int][]trace.UserID
+	priorCross [][]bool
+	anyCross   bool
+
+	// Staged changes since the last refresh.
+	pendEdges map[society.Pair]pendingEdge
+	pendProbs map[society.Pair]pendingProb
+	newUsers  []trace.UserID
+	allDirty  bool
+	events    int
+
+	seq  uint64
+	snap atomic.Pointer[Snapshot]
+}
+
+// New builds an engine and publishes an initial empty snapshot, so
+// Index and Snapshot work before any event arrives.
+func New(cfg Config) *Engine {
+	if cfg.EdgeThreshold <= 0 {
+		cfg.EdgeThreshold = 0.3
+	}
+	e := &Engine{
+		cfg:       cfg,
+		learner:   society.NewOnlineLearner(cfg.Society),
+		users:     make(map[trace.UserID]struct{}),
+		comps:     make(map[trace.UserID]*component),
+		compOf:    make(map[trace.UserID]*component),
+		index:     &pairIndex{alpha: cfg.Society.Alpha},
+		pendEdges: make(map[society.Pair]pendingEdge),
+		pendProbs: make(map[society.Pair]pendingProb),
+	}
+	e.snap.Store(&Snapshot{BuiltAt: time.Now(), index: e.index,
+		comps: e.comps})
+	return e
+}
+
+// Snapshot returns the last published snapshot (never nil).
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Index returns θ(u,v) from the last published snapshot, lock-free.
+// Engine satisfies core.SocialIndex, so it can be handed directly to
+// core.NewSelector and hot-swaps its state under the running selector
+// on every refresh.
+func (e *Engine) Index(u, v trace.UserID) float64 { return e.snap.Load().Index(u, v) }
+
+// Connect records a user associating with an AP. First sight of a user
+// adds a vertex (a singleton component until its first edge).
+func (e *Engine) Connect(u trace.UserID, ap trace.APID, ts int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.learner.Connect(u, ap, ts)
+	e.addUserLocked(u)
+	e.bumpLocked()
+}
+
+// Disconnect records a user leaving an AP, restaging θ for every pair
+// the event's encounter/co-leave updates touched.
+func (e *Engine) Disconnect(u trace.UserID, ap trace.APID, ts int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	touched, err := e.learner.DisconnectTouched(u, ap, ts)
+	if err != nil {
+		return err
+	}
+	for _, p := range touched {
+		e.stagePairLocked(p)
+	}
+	e.bumpLocked()
+	return nil
+}
+
+// SetTypes attaches a fresh type assignment (from periodic batch
+// clustering). Every θ may move, so the next refresh rebuilds the whole
+// graph — the one batch-cost operation, matching what the batch path
+// pays on every refresh.
+func (e *Engine) SetTypes(types map[trace.UserID]int, matrix [][]float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.learner.SetTypes(types, matrix)
+	e.types = make(map[trace.UserID]int, len(types))
+	for u, t := range types {
+		e.types[u] = t
+	}
+	e.matrix = make([][]float64, len(matrix))
+	for i, row := range matrix {
+		e.matrix[i] = append([]float64(nil), row...)
+	}
+	// Which type pairs cross the threshold on the prior alone? Those
+	// connect every member pair regardless of encounter history.
+	e.priorCross = make([][]bool, len(e.matrix))
+	e.anyCross = false
+	alpha := e.cfg.Society.Alpha
+	for i, row := range e.matrix {
+		e.priorCross[i] = make([]bool, len(row))
+		for j, t := range row {
+			if alpha*t > e.cfg.EdgeThreshold {
+				e.priorCross[i][j] = true
+				e.anyCross = true
+			}
+		}
+	}
+	e.byType = make(map[int][]trace.UserID)
+	for u := range e.users {
+		if t, ok := e.types[u]; ok {
+			e.byType[t] = append(e.byType[t], u)
+		}
+	}
+	e.allDirty = true
+	e.bumpLocked()
+}
+
+// Learner exposes the underlying online learner (raw tallies,
+// persistence). Callers must route events through the engine, not the
+// learner, or the graph will drift from the statistics.
+func (e *Engine) Learner() *society.OnlineLearner { return e.learner }
+
+// Refresh re-solves dirty components and publishes a new snapshot.
+// It is cheap when nothing is staged.
+func (e *Engine) Refresh() RefreshStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.refreshLocked()
+}
+
+// RefreshStats summarizes one refresh.
+type RefreshStats struct {
+	// Seq is the published snapshot's sequence number.
+	Seq uint64
+	// EdgesChanged counts staged edge mutations applied.
+	EdgesChanged int
+	// ComponentsDirty counts old components invalidated (plus newly
+	// created singleton regions).
+	ComponentsDirty int
+	// CliquesResolved counts cliques produced by re-solving dirty
+	// components.
+	CliquesResolved int
+	// RegionUsers is the vertex count of the re-solved region.
+	RegionUsers int
+	// Full reports a whole-graph rebuild (after SetTypes).
+	Full bool
+	// Took is the wall-clock refresh duration.
+	Took time.Duration
+}
+
+// bumpLocked counts a mutating event and auto-refreshes at the
+// configured churn threshold.
+func (e *Engine) bumpLocked() {
+	obsEvents.Inc()
+	e.events++
+	if e.cfg.RefreshEvents > 0 && e.events >= e.cfg.RefreshEvents {
+		e.refreshLocked()
+	}
+}
+
+// addUserLocked registers a first-seen user as a pending vertex. If the
+// user's type prior alone connects it to some existing users (rare —
+// requires α·T above the threshold), those edges are staged immediately.
+func (e *Engine) addUserLocked(u trace.UserID) {
+	if _, ok := e.users[u]; ok {
+		return
+	}
+	e.users[u] = struct{}{}
+	e.newUsers = append(e.newUsers, u)
+	tu, typed := e.types[u]
+	if typed {
+		e.byType[tu] = append(e.byType[tu], u)
+	}
+	if !typed || !e.anyCross || e.allDirty || tu >= len(e.priorCross) {
+		return
+	}
+	for tv, cross := range e.priorCross[tu] {
+		if !cross {
+			continue
+		}
+		for _, v := range e.byType[tv] {
+			if v != u {
+				e.stagePairLocked(society.MakePair(u, v))
+			}
+		}
+	}
+}
+
+// stagePairLocked recomputes θ for one pair from the learner's current
+// tallies and stages the probability and edge changes it implies. No-op
+// when a full rebuild is already pending (the rebuild recomputes
+// everything anyway) — except the probability update, which is always
+// staged so the published pair index stays exact.
+func (e *Engine) stagePairLocked(p society.Pair) {
+	enc, col := e.learner.PairCounts(p)
+	var prob float64
+	present := enc >= e.cfg.Society.MinEncounters && enc > 0
+	if present {
+		prob = float64(col) / float64(enc)
+		if prob > 1 {
+			prob = 1
+		}
+	}
+	cur, had := e.effectiveProbLocked(p)
+	if present != had || (present && prob != cur) {
+		e.pendProbs[p] = pendingProb{val: prob, present: present}
+	}
+	if e.allDirty {
+		return
+	}
+	theta := prob + e.priorLocked(p.A, p.B)
+	edgePresent := theta > e.cfg.EdgeThreshold
+	curW, curPresent := e.effectiveEdgeLocked(p)
+	if edgePresent != curPresent || (edgePresent && theta != curW) {
+		e.pendEdges[p] = pendingEdge{weight: theta, present: edgePresent}
+	}
+}
+
+// priorLocked returns the α·T term for (u,v) under the current types,
+// mirroring society.Model.Index.
+func (e *Engine) priorLocked(u, v trace.UserID) float64 {
+	tu, okU := e.types[u]
+	tv, okV := e.types[v]
+	if okU && okV && tu < len(e.matrix) && tv < len(e.matrix) {
+		return e.cfg.Society.Alpha * e.matrix[tu][tv]
+	}
+	return 0
+}
+
+// effectiveProbLocked reads a pair's probability with staged updates
+// applied.
+func (e *Engine) effectiveProbLocked(p society.Pair) (float64, bool) {
+	if pp, ok := e.pendProbs[p]; ok {
+		return pp.val, pp.present
+	}
+	return e.index.prob(p)
+}
+
+// effectiveEdgeLocked reads an edge with staged updates applied.
+func (e *Engine) effectiveEdgeLocked(p society.Pair) (float64, bool) {
+	if pe, ok := e.pendEdges[p]; ok {
+		return pe.weight, pe.present
+	}
+	ca := e.compOf[p.A]
+	if ca == nil || ca != e.compOf[p.B] {
+		return 0, false
+	}
+	return ca.sub.Weight(p.A, p.B)
+}
+
+// refreshLocked applies staged changes, re-solves dirty components and
+// publishes a new immutable snapshot. Cost is proportional to the dirty
+// region (plus one pointer-copy of the component map), not to the
+// population.
+func (e *Engine) refreshLocked() RefreshStats {
+	start := time.Now()
+	stats := RefreshStats{EdgesChanged: len(e.pendEdges), Full: e.allDirty}
+
+	// Publish the pair index first: the graph work below reads final
+	// probabilities through it on the full-rebuild path.
+	e.index, _ = e.index.withUpdates(e.pendProbs, e.types, e.matrix, e.cfg.Society.Alpha)
+
+	// Copy-on-write: the previous comps map is referenced by the last
+	// snapshot and must stay frozen.
+	next := make(map[trace.UserID]*component, len(e.comps))
+	for rep, c := range e.comps {
+		next[rep] = c
+	}
+	e.comps = next
+
+	if e.allDirty {
+		e.rebuildAllLocked(&stats)
+	} else if len(e.pendEdges) > 0 || len(e.newUsers) > 0 {
+		e.applyDirtyLocked(&stats)
+	}
+
+	e.seq++
+	stats.Seq = e.seq
+	prev := e.snap.Load()
+	snap := &Snapshot{
+		Seq:     e.seq,
+		BuiltAt: time.Now(),
+		Users:   len(e.users),
+		Edges:   e.edges,
+		index:   e.index,
+		comps:   e.comps,
+	}
+	e.snap.Store(snap)
+
+	e.pendEdges = make(map[society.Pair]pendingEdge)
+	e.pendProbs = make(map[society.Pair]pendingProb)
+	e.newUsers = nil
+	e.allDirty = false
+	e.events = 0
+
+	stats.Took = time.Since(start)
+	obsRefreshes.Inc()
+	if stats.Full {
+		obsFull.Inc()
+	}
+	obsEdgesChg.Add(int64(stats.EdgesChanged))
+	obsCompsDirty.Add(int64(stats.ComponentsDirty))
+	obsCliques.Add(int64(stats.CliquesResolved))
+	obsRefresh.Observe(stats.Took)
+	if prev != nil && prev.Seq > 0 {
+		obsSnapAge.Observe(snap.BuiltAt.Sub(prev.BuiltAt))
+	}
+	obsSeq.Set(int64(e.seq))
+	obsUsers.Set(int64(len(e.users)))
+	obsEdges.Set(int64(e.edges))
+	return stats
+}
+
+// applyDirtyLocked is the incremental path: collect the components
+// touched by staged edges and new users, rebuild that region's graph
+// with the changes applied, recompute its connected components (merges
+// and splits fall out of the walk), and re-solve cliques only there.
+func (e *Engine) applyDirtyLocked(stats *RefreshStats) {
+	// Seed vertices: endpoints of every staged edge, plus new users.
+	seeds := make(map[trace.UserID]struct{}, 2*len(e.pendEdges)+len(e.newUsers))
+	for p := range e.pendEdges {
+		seeds[p.A] = struct{}{}
+		seeds[p.B] = struct{}{}
+	}
+	for _, u := range e.newUsers {
+		seeds[u] = struct{}{}
+	}
+
+	// Dirty components: everything a seed belongs to. The region is
+	// their union — components are the cache unit, so a component with
+	// one touched edge is re-solved whole.
+	dirty := make(map[*component]struct{})
+	region := socialgraph.New()
+	for u := range seeds {
+		if c := e.compOf[u]; c != nil {
+			dirty[c] = struct{}{}
+		} else {
+			region.AddVertex(u) // new, still-isolated user
+		}
+	}
+	for c := range dirty {
+		for _, u := range c.verts {
+			region.AddVertex(u)
+		}
+		c.sub.ForEachEdge(func(u, v trace.UserID, w float64) {
+			region.AddEdge(u, v, w)
+		})
+	}
+	for p, pe := range e.pendEdges {
+		if pe.present {
+			region.AddEdge(p.A, p.B, pe.weight)
+		} else {
+			region.RemoveEdge(p.A, p.B)
+		}
+	}
+	stats.ComponentsDirty = len(dirty)
+	stats.RegionUsers = region.NumVertices()
+
+	oldEdges := 0
+	for c := range dirty {
+		oldEdges += c.sub.NumEdges()
+		delete(e.comps, c.rep)
+	}
+	e.edges += region.NumEdges() - oldEdges
+
+	for _, verts := range region.ConnectedComponents() {
+		e.installComponentLocked(region, verts, stats)
+	}
+}
+
+// rebuildAllLocked is the batch-equivalent path taken after SetTypes:
+// recompute every θ that can possibly cross the threshold and re-solve
+// everything. Candidate edges are the pairs with recorded co-leave
+// probability plus — only when some α·T prior alone crosses the
+// threshold — the member pairs of those type pairs; all other pairs
+// have θ = α·T ≤ threshold and cannot be edges, which keeps the rebuild
+// at O(support pairs), not O(n²).
+func (e *Engine) rebuildAllLocked(stats *RefreshStats) {
+	g := socialgraph.New()
+	for u := range e.users {
+		g.AddVertex(u)
+	}
+	for _, shard := range e.index.shards {
+		for p, prob := range shard {
+			if _, ok := e.users[p.A]; !ok {
+				continue
+			}
+			if _, ok := e.users[p.B]; !ok {
+				continue
+			}
+			if theta := prob + e.priorLocked(p.A, p.B); theta > e.cfg.EdgeThreshold {
+				g.AddEdge(p.A, p.B, theta)
+			}
+		}
+	}
+	if e.anyCross {
+		for ti, row := range e.priorCross {
+			for tj, cross := range row {
+				if !cross || tj < ti {
+					continue
+				}
+				for _, u := range e.byType[ti] {
+					for _, v := range e.byType[tj] {
+						if u == v || g.HasEdge(u, v) {
+							continue
+						}
+						p := society.MakePair(u, v)
+						prob, _ := e.index.prob(p)
+						g.AddEdge(u, v, prob+e.priorLocked(u, v))
+					}
+				}
+			}
+		}
+	}
+
+	stats.ComponentsDirty = len(e.comps)
+	stats.RegionUsers = g.NumVertices()
+	e.edges = g.NumEdges()
+	e.comps = make(map[trace.UserID]*component, len(e.users))
+	e.compOf = make(map[trace.UserID]*component, len(e.users))
+	for _, verts := range g.ConnectedComponents() {
+		e.installComponentLocked(g, verts, stats)
+	}
+}
+
+// installComponentLocked solves and caches one freshly dirtied
+// component.
+func (e *Engine) installComponentLocked(g *socialgraph.Graph,
+	verts []trace.UserID, stats *RefreshStats) {
+	sub := g.InducedSubgraph(verts)
+	c := &component{
+		rep:     verts[0],
+		verts:   verts,
+		sub:     sub,
+		cliques: socialgraph.ExtractCliqueCover(sub),
+	}
+	e.comps[c.rep] = c
+	for _, u := range verts {
+		e.compOf[u] = c
+	}
+	stats.CliquesResolved += len(c.cliques)
+}

@@ -1,0 +1,336 @@
+package incremental
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/socialgraph"
+	"github.com/s3wlan/s3wlan/internal/society"
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// testConfig lowers the support threshold to one encounter (as the
+// online-learner tests do) and disables auto-refresh so tests control
+// publication points explicitly.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Society.MinEncounters = 1
+	cfg.RefreshEvents = 0
+	return cfg
+}
+
+// meet records one encounter + co-leave cycle for u and v on ap: both
+// present for well over MinEncounterSeconds, leaving within the
+// co-leave window. Returns the next free timestamp.
+func meet(t *testing.T, e *Engine, u, v trace.UserID, ap trace.APID, ts int64) int64 {
+	t.Helper()
+	e.Connect(u, ap, ts)
+	e.Connect(v, ap, ts)
+	if err := e.Disconnect(u, ap, ts+3600); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Disconnect(v, ap, ts+3660); err != nil {
+		t.Fatal(err)
+	}
+	return ts + 8000
+}
+
+// meetApart is an encounter without a co-leave: v leaves far outside
+// the window, diluting P(L|E) for the pair.
+func meetApart(t *testing.T, e *Engine, u, v trace.UserID, ap trace.APID, ts int64) int64 {
+	t.Helper()
+	e.Connect(u, ap, ts)
+	e.Connect(v, ap, ts)
+	if err := e.Disconnect(u, ap, ts+3600); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Disconnect(v, ap, ts+3600+1200); err != nil {
+		t.Fatal(err)
+	}
+	return ts + 8000
+}
+
+func TestEngineEmptySnapshot(t *testing.T) {
+	e := New(testConfig())
+	s := e.Snapshot()
+	if s == nil {
+		t.Fatal("initial snapshot is nil")
+	}
+	if s.Users != 0 || s.Edges != 0 || s.NumComponents() != 0 {
+		t.Errorf("empty snapshot = %d users, %d edges, %d comps",
+			s.Users, s.Edges, s.NumComponents())
+	}
+	if got := e.Index("u1", "u2"); got != 0 {
+		t.Errorf("Index on empty engine = %v", got)
+	}
+	if cover := s.Cover(); len(cover) != 0 {
+		t.Errorf("empty cover = %v", cover)
+	}
+}
+
+func TestEngineEdgeLifecycle(t *testing.T) {
+	e := New(testConfig())
+	ts := meet(t, e, "u1", "u2", "ap1", 0)
+
+	// Nothing published yet: reads see the old (empty) snapshot.
+	if e.Index("u1", "u2") != 0 {
+		t.Error("unrefreshed engine leaked staged state into Index")
+	}
+
+	stats := e.Refresh()
+	if stats.Seq != 1 || !(stats.EdgesChanged >= 1) {
+		t.Errorf("refresh stats = %+v", stats)
+	}
+	if got := e.Index("u1", "u2"); got != 1.0 {
+		t.Errorf("θ(u1,u2) = %v, want 1.0 (1 co-leave / 1 encounter)", got)
+	}
+	s := e.Snapshot()
+	if s.Users != 2 || s.Edges != 1 || s.NumComponents() != 1 {
+		t.Errorf("snapshot = %d users, %d edges, %d comps; want 2/1/1",
+			s.Users, s.Edges, s.NumComponents())
+	}
+	cover := s.Cover()
+	if len(cover) != 1 || len(cover[0]) != 2 {
+		t.Fatalf("cover = %v, want one pair clique", cover)
+	}
+
+	// Dilute: three more encounters without co-leaving drive P(L|E) to
+	// 1/4 = 0.25 ≤ 0.3, so the edge must vanish on the next refresh.
+	for i := 0; i < 3; i++ {
+		ts = meetApart(t, e, "u1", "u2", "ap1", ts)
+	}
+	e.Refresh()
+	s = e.Snapshot()
+	if s.Edges != 0 || s.NumComponents() != 2 {
+		t.Errorf("after dilution: %d edges, %d comps; want 0 edges, 2 singletons",
+			s.Edges, s.NumComponents())
+	}
+	if got := e.Index("u1", "u2"); got != 0.25 {
+		t.Errorf("θ after dilution = %v, want 0.25", got)
+	}
+	cover = s.Cover()
+	if len(cover) != 2 || len(cover[0]) != 1 || len(cover[1]) != 1 {
+		t.Errorf("cover after dilution = %v, want two singletons", cover)
+	}
+}
+
+func TestEngineComponentMergeAndSplit(t *testing.T) {
+	e := New(testConfig())
+	ts := meet(t, e, "a", "b", "ap1", 0)
+	ts = meet(t, e, "c", "d", "ap2", ts)
+	e.Refresh()
+	if n := e.Snapshot().NumComponents(); n != 2 {
+		t.Fatalf("components = %d, want 2", n)
+	}
+
+	// b meets c: the bridge edge merges the two components.
+	ts = meet(t, e, "b", "c", "ap3", ts)
+	stats := e.Refresh()
+	s := e.Snapshot()
+	if n := s.NumComponents(); n != 1 {
+		t.Fatalf("components after bridge = %d, want 1", n)
+	}
+	if comp := s.ComponentOf("a"); len(comp) != 4 {
+		t.Errorf("merged component = %v, want 4 members", comp)
+	}
+	// Only the two bridged components were dirtied.
+	if stats.ComponentsDirty != 2 || stats.RegionUsers != 4 {
+		t.Errorf("merge stats = %+v, want 2 dirty comps over 4 users", stats)
+	}
+
+	// Dilute the bridge below the threshold: the component splits again.
+	for i := 0; i < 3; i++ {
+		ts = meetApart(t, e, "b", "c", "ap3", ts)
+	}
+	e.Refresh()
+	s = e.Snapshot()
+	if n := s.NumComponents(); n != 2 {
+		t.Fatalf("components after split = %d, want 2", n)
+	}
+	if comp := s.ComponentOf("a"); len(comp) != 2 {
+		t.Errorf("a's component after split = %v, want {a b}", comp)
+	}
+	if comp := s.ComponentOf("d"); len(comp) != 2 {
+		t.Errorf("d's component after split = %v, want {c d}", comp)
+	}
+}
+
+func TestEngineUntouchedComponentsShared(t *testing.T) {
+	e := New(testConfig())
+	ts := meet(t, e, "a", "b", "ap1", 0)
+	ts = meet(t, e, "c", "d", "ap2", ts)
+	e.Refresh()
+	before := e.Snapshot()
+
+	meet(t, e, "a", "b", "ap1", ts) // churn only the {a,b} component
+	stats := e.Refresh()
+	after := e.Snapshot()
+
+	if stats.ComponentsDirty != 1 {
+		t.Errorf("dirty components = %d, want 1", stats.ComponentsDirty)
+	}
+	// The untouched {c,d} component object is shared, not rebuilt.
+	if before.comps["c"] != after.comps["c"] {
+		t.Error("clean component was copied across refreshes")
+	}
+	if before.comps["a"] == after.comps["a"] {
+		t.Error("dirty component was not replaced")
+	}
+	// The old snapshot is immutable: still 2 users per component, same θ.
+	if before.Index("a", "b") != 1.0 || after.Index("a", "b") != 1.0 {
+		t.Error("θ drifted across refreshes without a statistics change")
+	}
+}
+
+func TestEngineSetTypesPriorCrossing(t *testing.T) {
+	cfg := testConfig()
+	cfg.Society.Alpha = 0.5 // α·T = 0.5·0.8 = 0.4 > 0.3: prior alone connects
+	e := New(cfg)
+	ts := int64(0)
+	for _, u := range []trace.UserID{"u1", "u2", "u3"} {
+		e.Connect(u, "ap1", ts)
+		if err := e.Disconnect(u, "ap1", ts+700); err != nil {
+			t.Fatal(err)
+		}
+		ts += 10000 // no overlaps: no encounter statistics at all
+	}
+	e.Refresh()
+	if n := e.Snapshot().NumComponents(); n != 3 {
+		t.Fatalf("pre-types components = %d, want 3 singletons", n)
+	}
+
+	types := map[trace.UserID]int{"u1": 0, "u2": 0, "u3": 0, "u4": 0}
+	e.SetTypes(types, [][]float64{{0.8}})
+	stats := e.Refresh()
+	if !stats.Full {
+		t.Error("SetTypes must force a full rebuild")
+	}
+	s := e.Snapshot()
+	if s.NumComponents() != 1 || s.Edges != 3 {
+		t.Fatalf("typed graph = %d comps, %d edges; want 1 comp, 3 edges",
+			s.NumComponents(), s.Edges)
+	}
+	if got := s.Index("u1", "u3"); got != 0.4 {
+		t.Errorf("prior-only θ = %v, want 0.4", got)
+	}
+	cover := s.Cover()
+	if len(cover) != 1 || len(cover[0]) != 3 {
+		t.Errorf("cover = %v, want one triangle", cover)
+	}
+
+	// A newly seen user of a crossing type joins the clique incrementally
+	// (no full rebuild).
+	e.Connect("u4", "ap2", ts)
+	stats = e.Refresh()
+	if stats.Full {
+		t.Error("new-user refresh must not be a full rebuild")
+	}
+	s = e.Snapshot()
+	if s.NumComponents() != 1 || s.Users != 4 || s.Edges != 6 {
+		t.Fatalf("after u4: %d comps, %d users, %d edges; want 1/4/6",
+			s.NumComponents(), s.Users, s.Edges)
+	}
+	if got := s.Index("u1", "u4"); got != 0.4 {
+		t.Errorf("θ(u1,u4) = %v, want 0.4", got)
+	}
+}
+
+func TestEngineMatchesBatchAfterSetTypes(t *testing.T) {
+	e := New(testConfig())
+	ts := meet(t, e, "a", "b", "ap1", 0)
+	meet(t, e, "b", "c", "ap1", ts)
+	e.SetTypes(map[trace.UserID]int{"a": 0, "b": 1, "c": 0},
+		[][]float64{{0.9, 0.1}, {0.1, 0.2}})
+	e.Refresh()
+
+	s := e.Snapshot()
+	m := e.Learner().Model()
+	users := []trace.UserID{"a", "b", "c"}
+	for i, u := range users {
+		for _, v := range users[i+1:] {
+			if got, want := s.Index(u, v), m.Index(u, v); got != want {
+				t.Errorf("θ(%s,%s) = %v, batch = %v", u, v, got, want)
+			}
+		}
+	}
+	batch := socialgraph.FromThreshold(users, e.cfg.EdgeThreshold, m.Index)
+	if got := s.Graph(); got.NumEdges() != batch.NumEdges() {
+		t.Errorf("edges = %d, batch = %d", got.NumEdges(), batch.NumEdges())
+	}
+}
+
+func TestEngineAutoRefresh(t *testing.T) {
+	cfg := testConfig()
+	cfg.RefreshEvents = 4
+	e := New(cfg)
+	meet(t, e, "u1", "u2", "ap1", 0) // exactly 4 events
+	s := e.Snapshot()
+	if s.Seq == 0 {
+		t.Fatal("auto-refresh did not publish")
+	}
+	if s.Edges != 1 {
+		t.Errorf("auto-refreshed edges = %d, want 1", s.Edges)
+	}
+}
+
+func TestEngineObserverErrors(t *testing.T) {
+	e := New(testConfig())
+	if err := e.Disconnect("ghost", "ap1", 10); err != society.ErrNotConnected {
+		t.Errorf("err = %v, want ErrNotConnected", err)
+	}
+	e.Connect("u1", "ap1", 100)
+	if err := e.Disconnect("u1", "ap1", 50); err != society.ErrTimeWentBack {
+		t.Errorf("err = %v, want ErrTimeWentBack", err)
+	}
+	// The failed events still registered the vertex but no edges.
+	e.Refresh()
+	if s := e.Snapshot(); s.Users != 1 {
+		t.Errorf("users = %d, want 1", s.Users)
+	}
+}
+
+func TestEngineConcurrentReaders(t *testing.T) {
+	cfg := testConfig()
+	cfg.RefreshEvents = 8 // interleave refreshes with events
+	e := New(cfg)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := e.Snapshot()
+				_ = s.Index("u0", "u1")
+				_ = s.Cover()
+				_ = s.NumComponents()
+				_ = e.Index("u1", "u2")
+			}
+		}()
+	}
+	users := []trace.UserID{"u0", "u1", "u2", "u3", "u4", "u5"}
+	ts := int64(0)
+	for i := 0; i < 60; i++ {
+		u, v := users[i%len(users)], users[(i+1)%len(users)]
+		e.Connect(u, "ap1", ts)
+		e.Connect(v, "ap1", ts)
+		if err := e.Disconnect(u, "ap1", ts+3600); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Disconnect(v, "ap1", ts+3650); err != nil {
+			t.Fatal(err)
+		}
+		ts += 8000
+	}
+	close(done)
+	wg.Wait()
+	e.Refresh()
+	if s := e.Snapshot(); s.Users != len(users) {
+		t.Errorf("users = %d, want %d", s.Users, len(users))
+	}
+}

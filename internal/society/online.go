@@ -8,33 +8,52 @@ import (
 	"github.com/s3wlan/s3wlan/internal/trace"
 )
 
+// compactEvery is the amortized sweep interval: every this many
+// disconnects the learner prunes stale co-leave windows and empty
+// per-AP entries across all APs, bounding memory on long-lived
+// controllers that see many transient APs.
+const compactEvery = 1024
+
+// openPresence tracks one user's open sessions on one AP. Overlapping
+// sessions of the same user form a single continuous presence: starts
+// holds the open connect times (oldest first), since the connect time
+// that opened the presence. Encounters are counted once per presence,
+// when the last open session closes, so stacked sessions never tally
+// the same co-presence period twice.
+type openPresence struct {
+	starts []int64
+	since  int64
+}
+
 // OnlineLearner maintains sociality statistics incrementally as sessions
 // complete, for a controller that learns continuously instead of
 // re-training from a batch trace — the paper's future-work item of
 // running S³ live in the campus WLAN. It is safe for concurrent use.
 //
-// The learner tracks, per AP, the currently open sessions and the recent
-// leavings; each session end is matched against (a) overlapping open
-// sessions to count encounters and (b) recent leavings within the
-// co-leave window to count co-leavings. A trained type assignment
-// (from a batch Model or analysis.Fig8) can be attached for the α·T term.
+// The learner tracks, per AP, the currently open presences and the recent
+// leavings; each presence end is matched against overlapping open
+// presences to count encounters, and each session end against recent
+// leavings within the co-leave window to count co-leavings. A trained
+// type assignment (from a batch Model or analysis.Fig8) can be attached
+// for the α·T term.
 type OnlineLearner struct {
 	cfg Config
 
-	mu         sync.Mutex
-	open       map[trace.APID]map[trace.UserID][]int64 // user -> open connect times
-	recentEnds map[trace.APID][]LeaveEvent
-	encounters map[Pair]int
-	coLeaves   map[Pair]int
-	types      map[trace.UserID]int
-	typeMatrix [][]float64
+	mu          sync.Mutex
+	open        map[trace.APID]map[trace.UserID]*openPresence
+	recentEnds  map[trace.APID][]LeaveEvent
+	encounters  map[Pair]int
+	coLeaves    map[Pair]int
+	types       map[trace.UserID]int
+	typeMatrix  [][]float64
+	disconnects int // since the last amortized compaction
 }
 
 // NewOnlineLearner builds an empty incremental learner.
 func NewOnlineLearner(cfg Config) *OnlineLearner {
 	return &OnlineLearner{
 		cfg:        cfg,
-		open:       make(map[trace.APID]map[trace.UserID][]int64),
+		open:       make(map[trace.APID]map[trace.UserID]*openPresence),
 		recentEnds: make(map[trace.APID][]LeaveEvent),
 		encounters: make(map[Pair]int),
 		coLeaves:   make(map[Pair]int),
@@ -63,61 +82,74 @@ var (
 )
 
 // Connect records a user associating with an AP at time ts. Overlapping
-// sessions of the same user on the same AP are tracked independently.
+// sessions of the same user on the same AP are tracked as one presence.
 func (l *OnlineLearner) Connect(u trace.UserID, ap trace.APID, ts int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	users := l.open[ap]
 	if users == nil {
-		users = make(map[trace.UserID][]int64)
+		users = make(map[trace.UserID]*openPresence)
 		l.open[ap] = users
 	}
-	users[u] = append(users[u], ts)
+	p := users[u]
+	if p == nil {
+		p = &openPresence{}
+		users[u] = p
+	}
+	if len(p.starts) == 0 {
+		p.since = ts
+	}
+	p.starts = append(p.starts, ts)
 }
 
 // Disconnect records a user leaving an AP at time ts, updating encounter
 // and co-leaving statistics.
 func (l *OnlineLearner) Disconnect(u trace.UserID, ap trace.APID, ts int64) error {
+	_, err := l.DisconnectTouched(u, ap, ts)
+	return err
+}
+
+// DisconnectTouched is Disconnect, additionally reporting the pairs whose
+// encounter or co-leave tallies changed (deduplicated, sorted). The
+// incremental social-state engine uses it to know which θ values — and
+// hence which graph edges — a single event can have perturbed.
+func (l *OnlineLearner) DisconnectTouched(u trace.UserID, ap trace.APID, ts int64) ([]Pair, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	users := l.open[ap]
-	stack := users[u]
-	if len(stack) == 0 {
-		return ErrNotConnected
+	p := users[u]
+	if p == nil || len(p.starts) == 0 {
+		return nil, ErrNotConnected
 	}
-	connectedAt := stack[0] // close the oldest open session
-	if ts < connectedAt {
-		return ErrTimeWentBack
+	if ts < p.starts[0] {
+		return nil, ErrTimeWentBack
 	}
-	if len(stack) == 1 {
+	p.starts = p.starts[1:] // close the oldest open session
+	touched := make(map[Pair]struct{})
+
+	if len(p.starts) == 0 {
+		// The presence ends: count encounters against every still-open
+		// presence on this AP, once per (presence, presence) pair.
+		// Closing-vs-closed was handled when the other side closed.
 		delete(users, u)
-	} else {
-		users[u] = stack[1:]
-	}
-
-	// Encounters: overlap with every still-open session on this AP plus
-	// closing-vs-closed handled when the other side closes.
-	ids := make([]trace.UserID, 0, len(users))
-	for w := range users {
-		ids = append(ids, w)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, w := range ids {
-		if w == u {
-			continue // the user's own remaining sessions
+		if len(users) == 0 {
+			delete(l.open, ap)
 		}
-		// Earliest open session of w gives the longest overlap.
-		wStart := users[w][0]
-		overlapStart := connectedAt
-		if wStart > overlapStart {
-			overlapStart = wStart
-		}
-		if ts-overlapStart >= l.cfg.MinEncounterSeconds {
-			l.encounters[MakePair(u, w)]++
+		for w, wp := range users {
+			overlapStart := p.since
+			if wp.since > overlapStart {
+				overlapStart = wp.since
+			}
+			if ts-overlapStart >= l.cfg.MinEncounterSeconds {
+				pr := MakePair(u, w)
+				l.encounters[pr]++
+				touched[pr] = struct{}{}
+			}
 		}
 	}
 
-	// Co-leavings: recent leavings on the same AP within the window.
+	// Co-leavings: recent leavings on the same AP within the window,
+	// counted per session end (the paper's leaving event granularity).
 	window := l.cfg.CoLeaveWindowSeconds
 	recent := l.recentEnds[ap]
 	kept := recent[:0]
@@ -127,12 +159,76 @@ func (l *OnlineLearner) Disconnect(u trace.UserID, ap trace.APID, ts int64) erro
 		}
 		kept = append(kept, ev)
 		if ev.User != u {
-			l.coLeaves[MakePair(u, ev.User)]++
+			pr := MakePair(u, ev.User)
+			l.coLeaves[pr]++
+			touched[pr] = struct{}{}
 		}
 	}
 	l.recentEnds[ap] = append(kept, LeaveEvent{User: u, AP: ap, At: ts})
-	return nil
+
+	l.disconnects++
+	if l.disconnects >= compactEvery {
+		l.disconnects = 0
+		l.compactLocked(ts)
+	}
+
+	if len(touched) == 0 {
+		return nil, nil
+	}
+	out := make([]Pair, 0, len(touched))
+	for pr := range touched {
+		out = append(out, pr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out, nil
 }
+
+// Compact drops expired co-leave window entries and empty per-AP maps,
+// relative to time now. Disconnect runs it automatically every
+// compactEvery events; long-lived controllers with sparse event streams
+// may call it from a periodic maintenance tick.
+func (l *OnlineLearner) Compact(now int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.compactLocked(now)
+}
+
+// compactLocked sweeps every AP's recent-leaving window, dropping events
+// older than the co-leave window and deleting AP entries that end up
+// empty (open entries are deleted eagerly when their last presence
+// closes, so only the leave windows accumulate). Must run with l.mu held.
+func (l *OnlineLearner) compactLocked(now int64) {
+	window := l.cfg.CoLeaveWindowSeconds
+	for ap, evs := range l.recentEnds {
+		kept := evs[:0]
+		for _, ev := range evs {
+			if now-ev.At > window {
+				continue
+			}
+			kept = append(kept, ev)
+		}
+		if len(kept) == 0 {
+			delete(l.recentEnds, ap)
+			continue
+		}
+		l.recentEnds[ap] = kept
+	}
+}
+
+// PairCounts reports the current raw tallies for one pair.
+func (l *OnlineLearner) PairCounts(p Pair) (encounters, coLeaves int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.encounters[p], l.coLeaves[p]
+}
+
+// Config returns the learner's configuration.
+func (l *OnlineLearner) Config() Config { return l.cfg }
 
 // Model snapshots the current statistics into an immutable Model usable
 // by the S³ selector.
@@ -174,12 +270,16 @@ func (l *OnlineLearner) Model() *Model {
 	}
 }
 
-// Stats reports the learner's internal tallies (for monitoring).
+// Stats reports the learner's internal tallies (for monitoring). Open
+// sessions counts individual sessions: a user with stacked overlapping
+// sessions on one AP contributes one per open session.
 func (l *OnlineLearner) Stats() (openSessions, pairsSeen, coLeavePairs int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for _, users := range l.open {
-		openSessions += len(users)
+		for _, p := range users {
+			openSessions += len(p.starts)
+		}
 	}
 	return openSessions, len(l.encounters), len(l.coLeaves)
 }

@@ -177,3 +177,102 @@ func TestOnlineLearnerStats(t *testing.T) {
 		t.Errorf("Stats = %d, %d, %d", open, pairs, co)
 	}
 }
+
+func TestOnlineLearnerStatsCountsStackedSessions(t *testing.T) {
+	// Regression: openSessions once counted distinct users per AP, so a
+	// user with stacked overlapping sessions was undercounted.
+	l := NewOnlineLearner(onlineConfig())
+	l.Connect("u1", "ap1", 0)
+	l.Connect("u1", "ap1", 100)
+	l.Connect("u1", "ap2", 200)
+	l.Connect("u2", "ap1", 300)
+	open, _, _ := l.Stats()
+	if open != 4 {
+		t.Errorf("open sessions = %d, want 4 (stacked sessions count individually)", open)
+	}
+	if err := l.Disconnect("u1", "ap1", 4000); err != nil {
+		t.Fatal(err)
+	}
+	if open, _, _ = l.Stats(); open != 3 {
+		t.Errorf("open sessions after one close = %d, want 3", open)
+	}
+}
+
+func TestOnlineLearnerStackedSessionsNoEncounterDoubleCount(t *testing.T) {
+	// Regression: with u holding two overlapping sessions on one AP and w
+	// present throughout, each close of u's sessions re-counted the same
+	// co-presence with w, inflating the encounter tally. Stacked sessions
+	// form one presence and must yield exactly one encounter.
+	l := NewOnlineLearner(onlineConfig())
+	l.Connect("w", "ap1", 0)
+	l.Connect("u", "ap1", 0)
+	l.Connect("u", "ap1", 100) // stacked second session
+	if err := l.Disconnect("u", "ap1", 3600); err != nil {
+		t.Fatal(err)
+	}
+	p := MakePair("u", "w")
+	if enc, _ := l.PairCounts(p); enc != 0 {
+		t.Errorf("encounters after first stacked close = %d, want 0 (presence continues)", enc)
+	}
+	if err := l.Disconnect("u", "ap1", 4000); err != nil {
+		t.Fatal(err)
+	}
+	if enc, _ := l.PairCounts(p); enc != 1 {
+		t.Errorf("encounters after presence end = %d, want 1", enc)
+	}
+	// w's own close counts the (w-presence, nothing-open) side: u is gone,
+	// so no further encounter accrues.
+	if err := l.Disconnect("w", "ap1", 4100); err != nil {
+		t.Fatal(err)
+	}
+	if enc, _ := l.PairCounts(p); enc != 1 {
+		t.Errorf("final encounters = %d, want 1", enc)
+	}
+}
+
+func TestOnlineLearnerPrunesEmptyAPEntries(t *testing.T) {
+	// Regression: empty open[ap] and recentEnds[ap] entries were never
+	// deleted, leaking memory on controllers seeing many transient APs.
+	l := NewOnlineLearner(onlineConfig())
+	for i := 0; i < 50; i++ {
+		ap := trace.APID(rune('A' + i%26))
+		ts := int64(i * 10000)
+		l.Connect("u1", ap, ts)
+		if err := l.Disconnect("u1", ap, ts+700); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(l.open); got != 0 {
+		t.Errorf("open AP entries = %d, want 0 (all presences closed)", got)
+	}
+	l.Compact(1_000_000_000)
+	if got := len(l.recentEnds); got != 0 {
+		t.Errorf("recentEnds AP entries after Compact = %d, want 0", got)
+	}
+}
+
+func TestOnlineLearnerDisconnectTouched(t *testing.T) {
+	l := NewOnlineLearner(onlineConfig())
+	l.Connect("u1", "ap1", 0)
+	l.Connect("u2", "ap1", 0)
+	l.Connect("u3", "ap1", 0)
+	touched, err := l.DisconnectTouched("u1", "ap1", 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two encounters (u1-u2, u1-u3), no co-leaves yet.
+	want := []Pair{MakePair("u1", "u2"), MakePair("u1", "u3")}
+	if len(touched) != 2 || touched[0] != want[0] || touched[1] != want[1] {
+		t.Errorf("touched = %v, want %v", touched, want)
+	}
+	// u2 leaves inside the co-leave window: encounter + co-leave with u1
+	// and u3's encounter — the u1 pair dedupes to one entry.
+	touched, err = l.DisconnectTouched("u2", "ap1", 3700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []Pair{MakePair("u1", "u2"), MakePair("u2", "u3")}
+	if len(touched) != 2 || touched[0] != want[0] || touched[1] != want[1] {
+		t.Errorf("touched = %v, want %v", touched, want)
+	}
+}

@@ -20,6 +20,19 @@ var (
 	obsSimSess  = obs.GetCounter("wlan.sessions")
 )
 
+// AssociationObserver receives simulated association lifecycle events —
+// the same shape as protocol.AssociationObserver, so the incremental
+// social-state engine (society/incremental) can learn from a replayed
+// trace exactly as it would from a live controller. Connect fires when
+// a session is placed (at its trace connect time); Disconnect fires at
+// departure or failure truncation. Disconnect errors are ignored: with
+// batched arrivals or injected failures, event times can interleave in
+// ways a strict learner rejects, and the simulation must not care.
+type AssociationObserver interface {
+	Connect(u trace.UserID, ap trace.APID, ts int64)
+	Disconnect(u trace.UserID, ap trace.APID, ts int64) error
+}
+
 // Failure injects an AP outage: the AP accepts no new associations during
 // [From, To) and stations associated at From are disconnected (their
 // sessions end early; S³ never migrates users, so they simply leave).
@@ -54,6 +67,10 @@ type Config struct {
 	// (user lists, per-user believed demands) is always live — the
 	// controller performs the associations itself. 0 means live load.
 	LoadReportIntervalSeconds int64
+	// Observer, when set, receives every placement and departure the
+	// simulator performs (e.g. an incremental sociality engine learning
+	// from the replay).
+	Observer AssociationObserver
 }
 
 // Assignment records where the simulator placed one session.
@@ -136,6 +153,7 @@ type domain struct {
 	aps      []*apState // stable order
 	selector Selector
 	result   *DomainResult
+	observer AssociationObserver
 }
 
 // Simulate replays the trace's sessions through the association policies.
@@ -173,7 +191,7 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 		if len(aps) == 0 {
 			continue
 		}
-		d := &domain{id: c}
+		d := &domain{id: c, observer: cfg.Observer}
 		for _, ap := range aps {
 			d.aps = append(d.aps, &apState{ap: ap, users: make(map[trace.UserID]float64)})
 		}
@@ -316,6 +334,9 @@ func truncateSessions(d *domain, st *apState, now int64) {
 			a.Session.Bytes = int64(float64(a.Session.Bytes) * float64(served) / float64(full))
 		}
 		a.Session.DisconnectAt = now
+		if d.observer != nil {
+			_ = d.observer.Disconnect(a.Session.User, st.ap.ID, now)
+		}
 	}
 	st.loadBps = 0
 	st.users = make(map[trace.UserID]float64)
@@ -398,6 +419,9 @@ func (d *domain) place(e *eventsim.Engine, s trace.Session, apID trace.APID, dem
 	st.users[s.User] += demand
 	st.loadBps += demand
 	d.result.Assigned = append(d.result.Assigned, Assignment{Session: s, AP: apID})
+	if d.observer != nil {
+		d.observer.Connect(s.User, apID, s.ConnectAt)
+	}
 	idx := len(d.result.Assigned) - 1
 	departAt := s.DisconnectAt
 	if departAt < e.Now() {
@@ -408,7 +432,10 @@ func (d *domain) place(e *eventsim.Engine, s trace.Session, apID trace.APID, dem
 		// release if the user is still on this AP.
 		a := d.result.Assigned[idx]
 		if a.Session.DisconnectAt < en.Now() {
-			return // already released by failure truncation
+			return // already released (and observed) by failure truncation
+		}
+		if d.observer != nil {
+			_ = d.observer.Disconnect(s.User, st.ap.ID, en.Now())
 		}
 		if cur, ok := st.users[s.User]; ok {
 			rem := cur - demand
