@@ -67,6 +67,7 @@ func run(args []string, out io.Writer) error {
 		chaosAPs = fs.Int("chaos-aps", 4, "chaos soak AP agent count")
 		chaosStn = fs.Int("chaos-stations", 16, "chaos soak station count")
 		seed     = fs.Int64("seed", 1, "chaos fault-schedule seed")
+		shards   = fs.Int("shards", 0, "association-domain shards (<=1 = one lock domain; decisions are shard-count independent)")
 		verbose  = fs.Bool("v", false, "log controller decisions")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -77,7 +78,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var opts []protocol.ControllerOption
+	opts := []protocol.ControllerOption{protocol.WithShards(*shards)}
 	if *verbose {
 		opts = append(opts, protocol.WithLogger(log.New(out, "controller: ", log.Ltime)))
 	}
@@ -379,14 +380,15 @@ func runChaos(selector wlan.Selector, opts []protocol.ControllerOption, cfg chao
 	return nil
 }
 
-// writeHealth prints the protocol.* and society.* health metrics
-// (counters and gauges) from the obs registry in sorted order.
+// writeHealth prints the protocol.*, domain.* and society.* health
+// metrics (counters and gauges) from the obs registry in sorted order.
 func writeHealth(out io.Writer) {
 	snap := obs.TakeSnapshot()
 	vals := make(map[string]int64, len(snap.Counters)+len(snap.Gauges))
 	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
 	add := func(name string, v int64) {
-		if strings.HasPrefix(name, "protocol.") || strings.HasPrefix(name, "society.") {
+		if strings.HasPrefix(name, "protocol.") || strings.HasPrefix(name, "domain.") ||
+			strings.HasPrefix(name, "society.") {
 			names = append(names, name)
 			vals[name] = v
 		}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/baseline"
+	"github.com/s3wlan/s3wlan/internal/trace"
+	"github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+// allFriends marks every pair socially close, forcing friendLoadBuckets
+// to walk each view's full user list — the only code path that indexes
+// UserDemands.
+type allFriends struct{}
+
+func (allFriends) Index(u, v trace.UserID) float64 {
+	if u == v {
+		return 0
+	}
+	return 1
+}
+
+// TestNilUserDemandsViews is the APView.UserDemands nil-handling
+// regression test: a view may legitimately carry Users without
+// UserDemands (callers that do not track per-user demand), or a
+// UserDemands slice shorter than Users (the batch path's projectView
+// appends projected users to Users only). Every selector must treat the
+// missing entries as one requester-demand unit instead of panicking.
+func TestNilUserDemandsViews(t *testing.T) {
+	views := []wlan.APView{
+		{
+			ID:          "ap-nil",
+			CapacityBps: 1000,
+			LoadBps:     10,
+			Users:       []trace.UserID{"a", "b", "c"},
+			UserDemands: nil, // no per-user demand tracked
+			RSSI:        -40,
+		},
+		{
+			ID:          "ap-short",
+			CapacityBps: 1000,
+			LoadBps:     5,
+			Users:       []trace.UserID{"d", "e"},
+			UserDemands: []float64{7}, // shorter than Users
+			RSSI:        -60,
+		},
+	}
+	req := wlan.Request{User: "u", At: 100, DemandBps: 3}
+
+	sel, err := NewSelector(allFriends{}, DefaultSelectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.Select(req, views); err != nil {
+		t.Fatalf("S3 Select with nil UserDemands: %v", err)
+	}
+	reqs := []wlan.Request{
+		{User: "u", At: 100, DemandBps: 3},
+		{User: "v", At: 100, DemandBps: 4},
+		{User: "w", At: 100, DemandBps: 5},
+	}
+	placed, err := sel.SelectBatch(reqs, views)
+	if err != nil {
+		t.Fatalf("S3 SelectBatch with nil UserDemands: %v", err)
+	}
+	if len(placed) != len(reqs) {
+		t.Fatalf("SelectBatch placed %d of %d users", len(placed), len(reqs))
+	}
+
+	selectors := []wlan.Selector{
+		baseline.LLF{},
+		baseline.LeastUsers{},
+		baseline.StrongestRSSI{},
+		baseline.NewRandom(1),
+		&baseline.RoundRobin{},
+	}
+	for _, s := range selectors {
+		if _, err := s.Select(req, views); err != nil {
+			t.Errorf("%s with nil UserDemands: %v", s.Name(), err)
+		}
+	}
+}

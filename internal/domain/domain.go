@@ -1,0 +1,678 @@
+package domain
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/s3wlan/s3wlan/internal/obs"
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// Commit-path health, exported through the obs registry. Counters are
+// process-wide (they accumulate across every Domain instance, live or
+// simulated); per-shard gauges are registered only for named domains
+// (Config.ObsName) so parallel experiment cells do not fight over them.
+var (
+	obsCommitSingle = obs.GetCounter("domain.commit.single_shard")
+	obsCommitMulti  = obs.GetCounter("domain.commit.multi_shard")
+	obsCommitStale  = obs.GetCounter("domain.commit.stale")
+	obsCommitForced = obs.GetCounter("domain.commit.forced")
+	obsOverloads    = obs.GetCounter("domain.overloads")
+	obsEvictions    = obs.GetCounter("domain.evictions")
+	obsViews        = obs.GetCounter("domain.views")
+)
+
+// Sentinel errors returned by Commit.
+var (
+	// ErrUnknownAP reports a placement onto an AP the domain does not
+	// know (removed, expired, or a policy bug).
+	ErrUnknownAP = errors.New("unknown AP")
+	// ErrFailedAP reports a placement onto an AP that is marked failed.
+	ErrFailedAP = errors.New("AP is failed")
+	// ErrStale reports that a shard touched by the commit changed after
+	// the view snapshot was taken; the caller should re-snapshot and
+	// re-select, or force the commit with a nil Version.
+	ErrStale = errors.New("stale view version")
+)
+
+// LoadMode selects which load figure Views exposes to policies.
+type LoadMode int
+
+const (
+	// LoadBelieved exposes the live sum of believed user demands — the
+	// simulator's default (the controller performs associations itself,
+	// so association state is always current).
+	LoadBelieved LoadMode = iota
+	// LoadReported exposes the last published report snapshot
+	// (PublishReports / SetReported) — the simulator's stale-report mode
+	// modelling CAPWAP-style periodic statistics.
+	LoadReported
+	// LoadMax exposes max(reported, believed) — the live controller's
+	// mode, so a silent AP agent still yields sane decisions.
+	LoadMax
+)
+
+// APView is a policy's read-only view of one AP's live state. Both the
+// batch simulator and the live controller hand policies exactly this
+// (internal/wlan aliases the type), assembled by Domain.Views.
+type APView struct {
+	// ID identifies the AP.
+	ID trace.APID
+	// CapacityBps is the AP's bandwidth W(i) in bytes/second.
+	CapacityBps float64
+	// LoadBps is the AP's traffic load as selected by the domain's
+	// LoadMode (believed demand sum, last report, or their max).
+	LoadBps float64
+	// Users are the currently associated users (sorted).
+	Users []trace.UserID
+	// UserDemands[i] is the believed demand (bytes/second) of Users[i].
+	// May be nil when the caller does not track per-user demand;
+	// consumers must guard their indexing.
+	UserDemands []float64
+	// RSSI is the received signal strength the requesting user sees for
+	// this AP, in dBm (higher is stronger). Synthesized via the domain's
+	// RSSI function; used by the strongest-signal baseline.
+	RSSI float64
+}
+
+// HasCapacityFor reports whether adding demand keeps the AP within its
+// bandwidth constraint Σw(u) ≤ W(i); it is the view-level face of the
+// shared Admits predicate.
+func (v APView) HasCapacityFor(demand float64) bool {
+	return Admits(v.CapacityBps, v.LoadBps, demand)
+}
+
+// Admits is the single capacity-admission predicate: adding demandBps to
+// loadBps keeps the AP within capacityBps. APs with zero capacity are
+// unconstrained (capacity not modeled). Every admission check in the
+// repository — selector feasibility, simulator overload accounting,
+// commit overload accounting — routes through this function.
+func Admits(capacityBps, loadBps, demandBps float64) bool {
+	if capacityBps <= 0 {
+		return true
+	}
+	return loadBps+demandBps <= capacityBps
+}
+
+// SyntheticRSSI derives a stable pseudo-random signal strength in
+// [-90, -30] dBm from the (user, AP) pair. It stands in for physical
+// proximity: each user consistently "hears" some APs louder than others,
+// which is all the strongest-RSSI baseline needs. Simulator and live
+// controller share it, so signal-driven policies decide identically in
+// both.
+func SyntheticRSSI(u trace.UserID, ap trace.APID) float64 {
+	h := fnv.New32a()
+	h.Write([]byte(u))
+	h.Write([]byte{0})
+	h.Write([]byte(ap))
+	return -90 + float64(h.Sum32()%61)
+}
+
+// Version is the per-shard version vector captured by Views. Commit
+// validates only the entries of shards the placement set touches; nil
+// skips validation entirely (forced commit).
+type Version []uint64
+
+// Placement asks the domain to associate one user with one AP.
+type Placement struct {
+	User trace.UserID
+	AP   trace.APID
+	// DemandBps is the user's believed bandwidth demand.
+	DemandBps float64
+	// Prev, when non-empty, names an AP the user must be fully removed
+	// from in the same atomic commit — a re-association move. The
+	// removal and the placement land under the same two-phase lock, so
+	// a user is never observably on two APs or on none.
+	Prev trace.APID
+}
+
+// CommitResult reports what a commit did beyond succeeding.
+type CommitResult struct {
+	// Overloads counts placements that violated the bandwidth constraint
+	// (admission failed but the placement was applied anyway — the
+	// domain must serve everyone; policies record the fallback).
+	Overloads int
+}
+
+// Eviction is one user removed from an AP by a structural event (AP
+// failure or removal), with the believed demand they held.
+type Eviction struct {
+	User      trace.UserID
+	DemandBps float64
+}
+
+// APInfo is one AP's externally visible state (Snapshot/inspection).
+type APInfo struct {
+	CapacityBps float64
+	ReportedBps float64
+	BelievedBps float64
+	Failed      bool
+	Users       []trace.UserID // sorted
+	UserDemands []float64      // aligned with Users
+}
+
+// Config configures a Domain.
+type Config struct {
+	// Shards is the number of AP-partitioned lock domains; <= 1 keeps a
+	// single shard. The AP→shard mapping is a stable hash, so a given
+	// topology shards identically across runs.
+	Shards int
+	// Mode selects the load figure views expose (default LoadBelieved).
+	Mode LoadMode
+	// RSSI supplies the per-(user, AP) signal strength views carry;
+	// defaults to SyntheticRSSI.
+	RSSI func(u trace.UserID, ap trace.APID) float64
+	// SessionLog, when non-nil, receives one JSON record per completed
+	// association through LogSession — the "back-end data center" login
+	// log the paper's measurement study is built from.
+	SessionLog io.Writer
+	// ObsName, when non-empty, registers per-shard gauges
+	// (domain.<name>.shard<i>.aps / .users) kept current on every
+	// structural change. Leave empty for throwaway domains (experiment
+	// cells) that would otherwise fight over the process-wide registry.
+	ObsName string
+}
+
+// apState is one AP's accounting.
+type apState struct {
+	id          trace.APID
+	capacityBps float64
+	reportedBps float64
+	believedBps float64
+	users       map[trace.UserID]float64 // user -> believed demand
+	failed      bool
+}
+
+// shard owns a partition of the AP set behind its own lock.
+type shard struct {
+	mu      sync.RWMutex
+	version uint64
+	aps     map[trace.APID]*apState
+	ids     []trace.APID // sorted
+	entries int          // total user entries across the shard's APs
+
+	gaugeAPs   *obs.Gauge // nil unless ObsName set
+	gaugeUsers *obs.Gauge
+}
+
+// syncGauges publishes the shard's sizes; must run with sh.mu held.
+func (sh *shard) syncGauges() {
+	if sh.gaugeAPs != nil {
+		sh.gaugeAPs.Set(int64(len(sh.ids)))
+		sh.gaugeUsers.Set(int64(sh.entries))
+	}
+}
+
+// Domain is the sharded association-domain state machine.
+type Domain struct {
+	shards []*shard
+	mode   LoadMode
+	rssi   func(trace.UserID, trace.APID) float64
+
+	logMu      sync.Mutex
+	sessionLog *json.Encoder
+}
+
+// New builds a Domain.
+func New(cfg Config) *Domain {
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	rssi := cfg.RSSI
+	if rssi == nil {
+		rssi = SyntheticRSSI
+	}
+	d := &Domain{
+		shards: make([]*shard, n),
+		mode:   cfg.Mode,
+		rssi:   rssi,
+	}
+	if cfg.SessionLog != nil {
+		d.sessionLog = json.NewEncoder(cfg.SessionLog)
+	}
+	for i := range d.shards {
+		sh := &shard{aps: make(map[trace.APID]*apState)}
+		if cfg.ObsName != "" {
+			sh.gaugeAPs = obs.GetGauge(fmt.Sprintf("domain.%s.shard%02d.aps", cfg.ObsName, i))
+			sh.gaugeUsers = obs.GetGauge(fmt.Sprintf("domain.%s.shard%02d.users", cfg.ObsName, i))
+		}
+		d.shards[i] = sh
+	}
+	return d
+}
+
+// Shards returns the shard count.
+func (d *Domain) Shards() int { return len(d.shards) }
+
+// ShardOf returns the shard index owning ap — a stable hash, so the
+// mapping survives restarts and is identical across drivers.
+func (d *Domain) ShardOf(ap trace.APID) int {
+	if len(d.shards) == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(ap))
+	return int(h.Sum32() % uint32(len(d.shards)))
+}
+
+func (d *Domain) shardOf(ap trace.APID) *shard { return d.shards[d.ShardOf(ap)] }
+
+// AddAP registers an AP. Duplicate IDs error.
+func (d *Domain) AddAP(id trace.APID, capacityBps float64) error {
+	if id == "" {
+		return errors.New("domain: empty AP id")
+	}
+	sh := d.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.aps[id]; dup {
+		return fmt.Errorf("domain: AP %q already registered", id)
+	}
+	sh.aps[id] = &apState{
+		id:          id,
+		capacityBps: capacityBps,
+		users:       make(map[trace.UserID]float64),
+	}
+	at := sort.Search(len(sh.ids), func(i int) bool { return sh.ids[i] >= id })
+	sh.ids = append(sh.ids, "")
+	copy(sh.ids[at+1:], sh.ids[at:])
+	sh.ids[at] = id
+	sh.version++
+	sh.syncGauges()
+	return nil
+}
+
+// RemoveAP deletes an AP and returns its evicted users (sorted) for the
+// caller to re-home. ok is false when the AP is unknown.
+func (d *Domain) RemoveAP(id trace.APID) (evicted []Eviction, ok bool) {
+	sh := d.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.aps[id]
+	if !ok {
+		return nil, false
+	}
+	evicted = drain(sh, st)
+	delete(sh.aps, id)
+	at := sort.Search(len(sh.ids), func(i int) bool { return sh.ids[i] >= id })
+	sh.ids = append(sh.ids[:at], sh.ids[at+1:]...)
+	sh.version++
+	sh.syncGauges()
+	return evicted, true
+}
+
+// SetFailed flips an AP's failure state. Failing an AP evicts and
+// returns its users (sorted); recovery returns nil. Unknown APs no-op.
+func (d *Domain) SetFailed(id trace.APID, failed bool) []Eviction {
+	sh := d.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.aps[id]
+	if !ok {
+		return nil
+	}
+	st.failed = failed
+	var evicted []Eviction
+	if failed {
+		evicted = drain(sh, st)
+	}
+	sh.version++
+	sh.syncGauges()
+	return evicted
+}
+
+// drain evicts every user from st; must run with the shard lock held.
+func drain(sh *shard, st *apState) []Eviction {
+	if len(st.users) == 0 {
+		return nil
+	}
+	evicted := make([]Eviction, 0, len(st.users))
+	for u, dem := range st.users {
+		evicted = append(evicted, Eviction{User: u, DemandBps: dem})
+	}
+	sort.Slice(evicted, func(i, j int) bool { return evicted[i].User < evicted[j].User })
+	sh.entries -= len(st.users)
+	st.users = make(map[trace.UserID]float64)
+	st.believedBps = 0
+	obsEvictions.Add(int64(len(evicted)))
+	return evicted
+}
+
+// SetCapacity updates an AP's capacity (an agent re-hello may revise
+// it). Reports false for unknown APs.
+func (d *Domain) SetCapacity(id trace.APID, capacityBps float64) bool {
+	sh := d.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.aps[id]
+	if !ok {
+		return false
+	}
+	st.capacityBps = capacityBps
+	sh.version++
+	return true
+}
+
+// SetReported records an external load report for one AP (the live
+// controller's agent reports). Reports false for unknown APs.
+func (d *Domain) SetReported(id trace.APID, loadBps float64) bool {
+	sh := d.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.aps[id]
+	if !ok {
+		return false
+	}
+	st.reportedBps = loadBps
+	return true
+}
+
+// PublishReports snapshots every AP's believed load into its reported
+// load — the simulator's periodic report tick (LoadReported mode).
+func (d *Domain) PublishReports() {
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		for _, st := range sh.aps {
+			st.reportedBps = st.believedBps
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Size returns the registered AP count (failed APs included).
+func (d *Domain) Size() int {
+	n := 0
+	for _, sh := range d.shards {
+		sh.mu.RLock()
+		n += len(sh.ids)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// APs lists the registered AP IDs in sorted order.
+func (d *Domain) APs() []trace.APID {
+	var out []trace.APID
+	for _, sh := range d.shards {
+		sh.mu.RLock()
+		out = append(out, sh.ids...)
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Info returns one AP's state for inspection.
+func (d *Domain) Info(id trace.APID) (APInfo, bool) {
+	sh := d.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.aps[id]
+	if !ok {
+		return APInfo{}, false
+	}
+	users, demands := sortedUsers(st)
+	return APInfo{
+		CapacityBps: st.capacityBps,
+		ReportedBps: st.reportedBps,
+		BelievedBps: st.believedBps,
+		Failed:      st.failed,
+		Users:       users,
+		UserDemands: demands,
+	}, true
+}
+
+func sortedUsers(st *apState) ([]trace.UserID, []float64) {
+	users := make([]trace.UserID, 0, len(st.users))
+	for u := range st.users {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	demands := make([]float64, len(users))
+	for i, u := range users {
+		demands[i] = st.users[u]
+	}
+	return users, demands
+}
+
+// Views snapshots the non-failed APs for a policy decision by user u,
+// with the per-shard version vector the commit validates against. APs
+// are returned in sorted ID order regardless of sharding, so a policy
+// sees the same candidate list for any shard count.
+func (d *Domain) Views(u trace.UserID) ([]APView, Version) {
+	obsViews.Inc()
+	ver := make(Version, len(d.shards))
+	var out []APView
+	for i, sh := range d.shards {
+		sh.mu.RLock()
+		ver[i] = sh.version
+		for _, id := range sh.ids {
+			st := sh.aps[id]
+			if st.failed {
+				continue
+			}
+			users, demands := sortedUsers(st)
+			var load float64
+			switch d.mode {
+			case LoadReported:
+				load = st.reportedBps
+			case LoadMax:
+				load = st.believedBps
+				if st.reportedBps > load {
+					load = st.reportedBps
+				}
+			default:
+				load = st.believedBps
+			}
+			out = append(out, APView{
+				ID:          id,
+				CapacityBps: st.capacityBps,
+				LoadBps:     load,
+				Users:       users,
+				UserDemands: demands,
+				RSSI:        d.rssi(u, id),
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	if len(d.shards) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	}
+	return out, ver
+}
+
+// Commit applies a placement set atomically. Placements landing in one
+// shard take the fast path (single lock, single version check); a set
+// spanning shards locks the involved shards in ascending index order —
+// the deterministic two-phase path — validates every involved version,
+// and applies all-or-nothing. ver == nil forces the commit without
+// validation. On ErrStale, ErrUnknownAP or ErrFailedAP nothing was
+// applied.
+func (d *Domain) Commit(ps []Placement, ver Version) (CommitResult, error) {
+	var res CommitResult
+	if len(ps) == 0 {
+		return res, nil
+	}
+
+	// Involved shard set, in ascending index order.
+	var idxs []int
+	if len(d.shards) == 1 {
+		idxs = []int{0}
+	} else {
+		seen := make([]bool, len(d.shards))
+		for _, p := range ps {
+			if i := d.ShardOf(p.AP); !seen[i] {
+				seen[i] = true
+				idxs = append(idxs, i)
+			}
+			if p.Prev != "" {
+				if i := d.ShardOf(p.Prev); !seen[i] {
+					seen[i] = true
+					idxs = append(idxs, i)
+				}
+			}
+		}
+		sort.Ints(idxs)
+	}
+	for _, i := range idxs {
+		d.shards[i].mu.Lock()
+	}
+	unlock := func() {
+		for _, i := range idxs {
+			d.shards[i].mu.Unlock()
+		}
+	}
+
+	// Validate versions, then targets — all before any mutation.
+	switch {
+	case ver == nil:
+		obsCommitForced.Inc()
+	case len(ver) != len(d.shards):
+		unlock()
+		obsCommitStale.Inc()
+		return res, ErrStale
+	default:
+		for _, i := range idxs {
+			if d.shards[i].version != ver[i] {
+				unlock()
+				obsCommitStale.Inc()
+				return res, ErrStale
+			}
+		}
+	}
+	for _, p := range ps {
+		st, ok := d.shards[d.ShardOf(p.AP)].aps[p.AP]
+		if !ok {
+			unlock()
+			return res, fmt.Errorf("domain: %w: %q", ErrUnknownAP, p.AP)
+		}
+		if st.failed {
+			unlock()
+			return res, fmt.Errorf("domain: %w: %q", ErrFailedAP, p.AP)
+		}
+	}
+
+	// Apply in order: sequential placements see each other's load, so a
+	// batch commit charges overloads exactly like sequential commits.
+	for _, p := range ps {
+		if p.Prev != "" {
+			psh := d.shards[d.ShardOf(p.Prev)]
+			if prev, ok := psh.aps[p.Prev]; ok {
+				removeUser(psh, prev, p.User)
+			}
+		}
+		sh := d.shards[d.ShardOf(p.AP)]
+		st := sh.aps[p.AP]
+		if !Admits(st.capacityBps, st.believedBps, p.DemandBps) {
+			res.Overloads++
+		}
+		if _, had := st.users[p.User]; !had {
+			sh.entries++
+		}
+		st.users[p.User] += p.DemandBps
+		st.believedBps += p.DemandBps
+	}
+	for _, i := range idxs {
+		d.shards[i].version++
+		d.shards[i].syncGauges()
+	}
+	if len(idxs) == 1 {
+		obsCommitSingle.Inc()
+	} else {
+		obsCommitMulti.Inc()
+	}
+	if res.Overloads > 0 {
+		obsOverloads.Add(int64(res.Overloads))
+	}
+	unlock()
+	return res, nil
+}
+
+// removeUser fully detaches u from st; must run with the shard lock held.
+func removeUser(sh *shard, st *apState, u trace.UserID) (removed float64, ok bool) {
+	cur, ok := st.users[u]
+	if !ok {
+		return 0, false
+	}
+	delete(st.users, u)
+	sh.entries--
+	st.believedBps -= cur
+	if st.believedBps < 0 {
+		st.believedBps = 0
+	}
+	return cur, true
+}
+
+// Leave releases demand of one of u's sessions on ap — multiplicity
+// semantics for the simulator, where a user may hold several concurrent
+// sessions on the same AP: the believed demand is decremented and the
+// user entry survives until its demand drains. Reports false when the
+// AP or the user is unknown.
+func (d *Domain) Leave(u trace.UserID, ap trace.APID, demandBps float64) bool {
+	sh := d.shardOf(ap)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.aps[ap]
+	if !ok {
+		return false
+	}
+	cur, ok := st.users[u]
+	if !ok {
+		return false
+	}
+	if rem := cur - demandBps; rem <= 1e-9 {
+		delete(st.users, u)
+		sh.entries--
+	} else {
+		st.users[u] = rem
+	}
+	st.believedBps -= demandBps
+	if st.believedBps < 0 {
+		st.believedBps = 0
+	}
+	sh.version++
+	sh.syncGauges()
+	return true
+}
+
+// LeaveAll fully detaches u from ap (the live controller's
+// disassociation — one assignment per user) and returns the believed
+// demand released.
+func (d *Domain) LeaveAll(u trace.UserID, ap trace.APID) (demandBps float64, ok bool) {
+	sh := d.shardOf(ap)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.aps[ap]
+	if !ok {
+		return 0, false
+	}
+	removed, ok := removeUser(sh, st, u)
+	if !ok {
+		return 0, false
+	}
+	sh.version++
+	sh.syncGauges()
+	return removed, true
+}
+
+// LogSession emits one completed-association record to the configured
+// session log as {"kind":"session","session":…} — parsable by
+// trace.ReadJSONLines. No-op without a configured log.
+func (d *Domain) LogSession(s trace.Session) error {
+	if d.sessionLog == nil {
+		return nil
+	}
+	d.logMu.Lock()
+	defer d.logMu.Unlock()
+	rec := struct {
+		Kind    string        `json:"kind"`
+		Session trace.Session `json:"session"`
+	}{Kind: "session", Session: s}
+	return d.sessionLog.Encode(rec)
+}

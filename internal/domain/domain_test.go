@@ -1,0 +1,542 @@
+package domain
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+func TestAdmits(t *testing.T) {
+	cases := []struct {
+		cap, load, demand float64
+		want              bool
+	}{
+		{100, 60, 40, true},   // exactly full fits
+		{100, 60, 41, false},  // over by one
+		{0, 1e12, 1e12, true}, // zero capacity = unconstrained
+		{-5, 10, 10, true},    // negative capacity = unconstrained
+		{100, 0, 100, true},
+		{100, 100, 0.001, false},
+	}
+	for _, c := range cases {
+		if got := Admits(c.cap, c.load, c.demand); got != c.want {
+			t.Errorf("Admits(%v,%v,%v) = %v, want %v", c.cap, c.load, c.demand, got, c.want)
+		}
+	}
+	v := APView{CapacityBps: 100, LoadBps: 60}
+	if !v.HasCapacityFor(40) || v.HasCapacityFor(41) {
+		t.Error("HasCapacityFor must match Admits")
+	}
+}
+
+func TestAddRemoveAP(t *testing.T) {
+	d := New(Config{Shards: 4})
+	if err := d.AddAP("", 1); err == nil {
+		t.Fatal("empty AP id must error")
+	}
+	if err := d.AddAP("ap1", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddAP("ap1", 100); err == nil {
+		t.Fatal("duplicate AP must error")
+	}
+	if err := d.AddAP("ap2", 200); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", d.Size())
+	}
+	if got := d.APs(); !reflect.DeepEqual(got, []trace.APID{"ap1", "ap2"}) {
+		t.Fatalf("APs = %v", got)
+	}
+
+	if _, err := d.Commit([]Placement{
+		{User: "u2", AP: "ap1", DemandBps: 5},
+		{User: "u1", AP: "ap1", DemandBps: 3},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	evicted, ok := d.RemoveAP("ap1")
+	if !ok {
+		t.Fatal("RemoveAP(ap1) = !ok")
+	}
+	want := []Eviction{{User: "u1", DemandBps: 3}, {User: "u2", DemandBps: 5}}
+	if !reflect.DeepEqual(evicted, want) {
+		t.Fatalf("evicted = %v, want %v (sorted)", evicted, want)
+	}
+	if _, ok := d.RemoveAP("ap1"); ok {
+		t.Fatal("removing a removed AP must report !ok")
+	}
+	if d.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", d.Size())
+	}
+}
+
+func TestSetFailedEvictsAndHides(t *testing.T) {
+	d := New(Config{Shards: 2})
+	for _, ap := range []trace.APID{"a", "b"} {
+		if err := d.AddAP(ap, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Commit([]Placement{{User: "u", AP: "a", DemandBps: 7}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	evicted := d.SetFailed("a", true)
+	if !reflect.DeepEqual(evicted, []Eviction{{User: "u", DemandBps: 7}}) {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	views, _ := d.Views("u")
+	if len(views) != 1 || views[0].ID != "b" {
+		t.Fatalf("failed AP must be hidden from views: %v", views)
+	}
+	if _, err := d.Commit([]Placement{{User: "u", AP: "a", DemandBps: 1}}, nil); !errors.Is(err, ErrFailedAP) {
+		t.Fatalf("commit onto failed AP: err = %v, want ErrFailedAP", err)
+	}
+	if ev := d.SetFailed("a", false); ev != nil {
+		t.Fatalf("recovery must not evict, got %v", ev)
+	}
+	views, _ = d.Views("u")
+	if len(views) != 2 {
+		t.Fatalf("recovered AP must reappear: %v", views)
+	}
+	info, ok := d.Info("a")
+	if !ok || info.BelievedBps != 0 || len(info.Users) != 0 {
+		t.Fatalf("failure must drain load: %+v", info)
+	}
+}
+
+func TestCommitStaleAndForced(t *testing.T) {
+	d := New(Config{Shards: 4})
+	for i := 0; i < 8; i++ {
+		if err := d.AddAP(trace.APID(fmt.Sprintf("ap%d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, ver := d.Views("u")
+	// Mutate the shard owning ap0.
+	if _, err := d.Commit([]Placement{{User: "x", AP: "ap0", DemandBps: 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Commit([]Placement{{User: "u", AP: "ap0", DemandBps: 1}}, ver); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale commit: err = %v, want ErrStale", err)
+	}
+	// A change in an untouched shard must NOT invalidate the commit.
+	_, ver = d.Views("u")
+	other := ""
+	for i := 0; i < 8; i++ {
+		id := trace.APID(fmt.Sprintf("ap%d", i))
+		if d.ShardOf(id) != d.ShardOf("ap0") {
+			other = string(id)
+			break
+		}
+	}
+	if other == "" {
+		t.Skip("all APs hashed to one shard")
+	}
+	if _, err := d.Commit([]Placement{{User: "y", AP: trace.APID(other), DemandBps: 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Commit([]Placement{{User: "u", AP: "ap0", DemandBps: 1}}, ver); err != nil {
+		t.Fatalf("commit invalidated by untouched shard: %v", err)
+	}
+	// Forced commit ignores staleness entirely.
+	if _, err := d.Commit([]Placement{{User: "u2", AP: "ap0", DemandBps: 1}}, nil); err != nil {
+		t.Fatalf("forced commit: %v", err)
+	}
+	// A version vector of the wrong width is stale by definition.
+	if _, err := d.Commit([]Placement{{User: "u3", AP: "ap0", DemandBps: 1}}, Version{1}); !errors.Is(err, ErrStale) {
+		t.Fatalf("wrong-width version: err = %v, want ErrStale", err)
+	}
+}
+
+func TestCommitAtomicOnUnknownAP(t *testing.T) {
+	d := New(Config{Shards: 4})
+	if err := d.AddAP("known", 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.Commit([]Placement{
+		{User: "u1", AP: "known", DemandBps: 5},
+		{User: "u2", AP: "ghost", DemandBps: 5},
+	}, nil)
+	if !errors.Is(err, ErrUnknownAP) {
+		t.Fatalf("err = %v, want ErrUnknownAP", err)
+	}
+	info, _ := d.Info("known")
+	if info.BelievedBps != 0 || len(info.Users) != 0 {
+		t.Fatalf("failed commit must apply nothing: %+v", info)
+	}
+}
+
+func TestCommitOverloadAccounting(t *testing.T) {
+	d := New(Config{})
+	if err := d.AddAP("ap", 10); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential placements inside one batch see each other's load:
+	// 6 fits, 6 overloads.
+	res, err := d.Commit([]Placement{
+		{User: "u1", AP: "ap", DemandBps: 6},
+		{User: "u2", AP: "ap", DemandBps: 6},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overloads != 1 {
+		t.Fatalf("Overloads = %d, want 1", res.Overloads)
+	}
+}
+
+func TestCommitMoveSemantics(t *testing.T) {
+	d := New(Config{Shards: 8})
+	for _, ap := range []trace.APID{"a", "b"} {
+		if err := d.AddAP(ap, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Commit([]Placement{{User: "u", AP: "a", DemandBps: 4}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Move a -> b with a revised demand: the removal and placement are
+	// one atomic commit.
+	if _, err := d.Commit([]Placement{{User: "u", AP: "b", DemandBps: 9, Prev: "a"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ia, _ := d.Info("a")
+	ib, _ := d.Info("b")
+	if len(ia.Users) != 0 || ia.BelievedBps != 0 {
+		t.Fatalf("source AP not drained: %+v", ia)
+	}
+	if !reflect.DeepEqual(ib.Users, []trace.UserID{"u"}) || ib.BelievedBps != 9 {
+		t.Fatalf("move target: %+v", ib)
+	}
+	// Self-move (re-association to the same AP) behaves as a demand
+	// update, not a double-count.
+	if _, err := d.Commit([]Placement{{User: "u", AP: "b", DemandBps: 2, Prev: "b"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ib, _ = d.Info("b")
+	if ib.BelievedBps != 2 || len(ib.Users) != 1 {
+		t.Fatalf("self-move: %+v", ib)
+	}
+}
+
+func TestLeaveMultiplicityAndLeaveAll(t *testing.T) {
+	d := New(Config{})
+	if err := d.AddAP("ap", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Two concurrent sessions by the same user (simulator semantics).
+	if _, err := d.Commit([]Placement{
+		{User: "u", AP: "ap", DemandBps: 3},
+		{User: "u", AP: "ap", DemandBps: 4},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := d.Info("ap")
+	if info.BelievedBps != 7 || len(info.Users) != 1 {
+		t.Fatalf("stacked sessions: %+v", info)
+	}
+	if !d.Leave("u", "ap", 3) {
+		t.Fatal("Leave must find the user")
+	}
+	info, _ = d.Info("ap")
+	if info.BelievedBps != 4 || len(info.Users) != 1 {
+		t.Fatalf("after one leave: %+v", info)
+	}
+	if !d.Leave("u", "ap", 4) {
+		t.Fatal("Leave must find the user")
+	}
+	info, _ = d.Info("ap")
+	if info.BelievedBps != 0 || len(info.Users) != 0 {
+		t.Fatalf("after draining: %+v", info)
+	}
+	if d.Leave("u", "ap", 1) {
+		t.Fatal("Leave of a gone user must report false")
+	}
+
+	// LeaveAll removes the user wholesale (controller semantics).
+	if _, err := d.Commit([]Placement{{User: "v", AP: "ap", DemandBps: 11}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	rel, ok := d.LeaveAll("v", "ap")
+	if !ok || rel != 11 {
+		t.Fatalf("LeaveAll = (%v, %v), want (11, true)", rel, ok)
+	}
+	if _, ok := d.LeaveAll("v", "ap"); ok {
+		t.Fatal("second LeaveAll must report false")
+	}
+}
+
+func TestViewsLoadModes(t *testing.T) {
+	mk := func(mode LoadMode) *Domain {
+		d := New(Config{Mode: mode})
+		if err := d.AddAP("ap", 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Commit([]Placement{{User: "u", AP: "ap", DemandBps: 10}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		d.SetReported("ap", 25)
+		return d
+	}
+	if v, _ := mk(LoadBelieved).Views("u"); v[0].LoadBps != 10 {
+		t.Errorf("LoadBelieved = %v, want 10", v[0].LoadBps)
+	}
+	if v, _ := mk(LoadReported).Views("u"); v[0].LoadBps != 25 {
+		t.Errorf("LoadReported = %v, want 25", v[0].LoadBps)
+	}
+	if v, _ := mk(LoadMax).Views("u"); v[0].LoadBps != 25 {
+		t.Errorf("LoadMax = %v, want 25", v[0].LoadBps)
+	}
+
+	// PublishReports snapshots believed into reported.
+	d := New(Config{Mode: LoadReported})
+	if err := d.AddAP("ap", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Commit([]Placement{{User: "u", AP: "ap", DemandBps: 10}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Views("u"); v[0].LoadBps != 0 {
+		t.Fatalf("before publish: %v, want 0", v[0].LoadBps)
+	}
+	d.PublishReports()
+	if v, _ := d.Views("u"); v[0].LoadBps != 10 {
+		t.Fatalf("after publish: %v, want 10", v[0].LoadBps)
+	}
+}
+
+// TestShardCountInvariant replays identical operations through a 1-shard
+// and a 16-shard domain and asserts byte-identical externally visible
+// state: same views (IDs, loads, users, demands, RSSI), same AP list,
+// same evictions. Sharding changes lock granularity, never results.
+func TestShardCountInvariant(t *testing.T) {
+	build := func(shards int) *Domain {
+		d := New(Config{Shards: shards})
+		for i := 0; i < 40; i++ {
+			if err := d.AddAP(trace.APID(fmt.Sprintf("ap%02d", i)), float64(1000+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var ps []Placement
+		for i := 0; i < 200; i++ {
+			ps = append(ps, Placement{
+				User:      trace.UserID(fmt.Sprintf("u%03d", i%60)),
+				AP:        trace.APID(fmt.Sprintf("ap%02d", (i*7)%40)),
+				DemandBps: float64(1 + i%13),
+			})
+		}
+		if _, err := d.Commit(ps, nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			d.Leave(trace.UserID(fmt.Sprintf("u%03d", i%60)), trace.APID(fmt.Sprintf("ap%02d", (i*7)%40)), float64(1+i%13))
+		}
+		d.SetFailed("ap03", true)
+		d.RemoveAP("ap05")
+		d.PublishReports()
+		return d
+	}
+	a, b := build(1), build(16)
+	va, _ := a.Views("observer")
+	vb, _ := b.Views("observer")
+	if !reflect.DeepEqual(va, vb) {
+		t.Fatalf("views differ between 1 and 16 shards:\n%v\nvs\n%v", va, vb)
+	}
+	if !reflect.DeepEqual(a.APs(), b.APs()) {
+		t.Fatalf("AP lists differ: %v vs %v", a.APs(), b.APs())
+	}
+	for _, id := range a.APs() {
+		ia, _ := a.Info(id)
+		ib, _ := b.Info(id)
+		if !reflect.DeepEqual(ia, ib) {
+			t.Fatalf("Info(%s) differs: %+v vs %+v", id, ia, ib)
+		}
+	}
+}
+
+func TestViewsSortedAcrossShards(t *testing.T) {
+	d := New(Config{Shards: 16})
+	for i := 31; i >= 0; i-- {
+		if err := d.AddAP(trace.APID(fmt.Sprintf("ap%02d", i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	views, ver := d.Views("u")
+	if len(ver) != 16 {
+		t.Fatalf("version width = %d, want 16", len(ver))
+	}
+	for i := 1; i < len(views); i++ {
+		if views[i-1].ID >= views[i].ID {
+			t.Fatalf("views not ID-sorted at %d: %v >= %v", i, views[i-1].ID, views[i].ID)
+		}
+	}
+}
+
+func TestSessionLog(t *testing.T) {
+	var buf bytes.Buffer
+	d := New(Config{SessionLog: &buf})
+	if err := d.LogSession(trace.Session{
+		User: "u", AP: "ap", ConnectAt: 100, DisconnectAt: 200, Bytes: 42,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadJSONLines(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sessions) != 1 || tr.Sessions[0].User != "u" || tr.Sessions[0].Bytes != 42 {
+		t.Fatalf("round-trip: %+v", tr.Sessions)
+	}
+	// No log configured: no-op, no error.
+	if err := New(Config{}).LogSession(trace.Session{User: "u"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentCommitsConserveLoad hammers the sharded commit path from
+// many goroutines — check-and-retry commits, forced fallbacks, leaves,
+// and structural churn on disjoint APs — and asserts the accounting
+// drains to zero. Run under -race this covers the per-shard locking.
+func TestConcurrentCommitsConserveLoad(t *testing.T) {
+	d := New(Config{Shards: 8})
+	const stableAPs = 24
+	aps := make([]trace.APID, stableAPs)
+	for i := range aps {
+		aps[i] = trace.APID(fmt.Sprintf("ap%02d", i))
+		if err := d.AddAP(aps[i], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 8
+	const opsPer = 300
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			u := trace.UserID(fmt.Sprintf("user%d", w))
+			for i := 0; i < opsPer; i++ {
+				views, ver := d.Views(u)
+				ap := views[(w*31+i)%len(views)].ID
+				if _, err := d.Commit([]Placement{{User: u, AP: ap, DemandBps: 1}}, ver); err != nil {
+					if !errors.Is(err, ErrStale) {
+						errs <- err
+						return
+					}
+					if _, err := d.Commit([]Placement{{User: u, AP: ap, DemandBps: 1}}, nil); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if !d.Leave(u, ap, 1) {
+					errs <- fmt.Errorf("worker %d: leave lost user on %s", w, ap)
+					return
+				}
+			}
+		}(w)
+	}
+	// Structural churn on APs nobody commits to: registrations, removals
+	// and failure flips bump shard versions and exercise ErrStale.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			id := trace.APID(fmt.Sprintf("churn%d", i%4))
+			if err := d.AddAP(id, 100); err == nil {
+				d.SetFailed(id, true)
+				d.RemoveAP(id)
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, id := range aps {
+		info, ok := d.Info(id)
+		if !ok {
+			t.Fatalf("stable AP %s vanished", id)
+		}
+		if info.BelievedBps != 0 || len(info.Users) != 0 {
+			t.Fatalf("load not conserved on %s: %+v", id, info)
+		}
+	}
+}
+
+// TestConcurrentMultiShardCommits drives two-phase commits whose
+// placement sets span shards, concurrently, to exercise the ascending
+// lock-order path (a cycle here deadlocks the test).
+func TestConcurrentMultiShardCommits(t *testing.T) {
+	d := New(Config{Shards: 8})
+	const apCount = 32
+	aps := make([]trace.APID, apCount)
+	for i := range aps {
+		aps[i] = trace.APID(fmt.Sprintf("ap%02d", i))
+		if err := d.AddAP(aps[i], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				// A 4-user "clique" spread over 4 APs in varying shards.
+				ps := make([]Placement, 4)
+				for k := range ps {
+					ps[k] = Placement{
+						User:      trace.UserID(fmt.Sprintf("w%dc%d", w, k)),
+						AP:        aps[(w*5+i+k*7)%apCount],
+						DemandBps: 2,
+					}
+				}
+				if _, err := d.Commit(ps, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				for _, p := range ps {
+					if !d.Leave(p.User, p.AP, 2) {
+						t.Errorf("leave lost %s on %s", p.User, p.AP)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, id := range aps {
+		info, _ := d.Info(id)
+		if info.BelievedBps != 0 || len(info.Users) != 0 {
+			t.Fatalf("load not conserved on %s: %+v", id, info)
+		}
+	}
+}
+
+func TestShardOfStable(t *testing.T) {
+	a := New(Config{Shards: 16})
+	b := New(Config{Shards: 16})
+	for i := 0; i < 100; i++ {
+		id := trace.APID(fmt.Sprintf("building-%d-floor-%d", i%10, i/10))
+		if a.ShardOf(id) != b.ShardOf(id) {
+			t.Fatalf("ShardOf(%s) differs across instances", id)
+		}
+	}
+	if got := New(Config{}).Shards(); got != 1 {
+		t.Fatalf("default Shards = %d, want 1", got)
+	}
+	if got := New(Config{Shards: -3}).Shards(); got != 1 {
+		t.Fatalf("negative Shards = %d, want 1", got)
+	}
+}

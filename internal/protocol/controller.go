@@ -1,7 +1,6 @@
 package protocol
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/s3wlan/s3wlan/internal/domain"
 	"github.com/s3wlan/s3wlan/internal/obs"
 	"github.com/s3wlan/s3wlan/internal/trace"
 	"github.com/s3wlan/s3wlan/internal/wlan"
@@ -32,17 +32,14 @@ var (
 
 // maxSelectRetries bounds the lock-free selection retry loop: after this
 // many stale snapshots the decision is committed against the current
-// state anyway (membership mutations are always serialized under the
-// lock, so a stale commit is at worst suboptimal, never corrupting).
+// state anyway (membership mutations are always serialized per domain
+// shard, so a stale commit is at worst suboptimal, never corrupting).
 const maxSelectRetries = 3
 
-// apEntry is the controller's live view of one registered AP.
-type apEntry struct {
-	id          trace.APID
-	capacityBps float64
-	reportedBps float64
-	users       map[trace.UserID]float64 // user -> believed demand
-
+// apMeta is the controller's protocol-level metadata for one registered
+// AP: the lease/agent-connection lifecycle. All load and membership
+// accounting lives in the shared association-domain core (c.dom).
+type apMeta struct {
 	// static entries come from RegisterAP (no agent connection) and are
 	// exempt from lease expiry.
 	static bool
@@ -79,12 +76,26 @@ type lifecycleEvent struct {
 // Controller is the prototype WLAN controller: a TCP server that
 // registers AP agents, receives their load reports, and answers stations'
 // association requests by running the configured policy.
+//
+// All association state — AP registry, per-AP load/user accounting,
+// capacity admission, view snapshots, versioned commits, session-log
+// emission — lives in the shared association-domain core
+// (internal/domain), the same state machine the batch simulator replays
+// traces through; the controller layers the protocol lifecycle (leases,
+// agent connections, station sessions, served-byte accounting) on top.
+// Lock order is always c.mu before domain shard locks, never the
+// reverse.
 type Controller struct {
 	selector wlan.Selector
 	logger   *log.Logger
 	timeout  time.Duration
 	observer AssociationObserver
 	now      func() int64
+
+	// dom owns all AP association state, sharded by AP (WithShards).
+	dom       *domain.Domain
+	shards    int
+	sessionLW io.Writer
 
 	// refreshFn, when set, runs every refreshEvery while serving (see
 	// WithRefresher).
@@ -96,15 +107,11 @@ type Controller struct {
 	leaseSeconds int64
 
 	mu          sync.Mutex
-	aps         map[trace.APID]*apEntry
+	meta        map[trace.APID]*apMeta
 	assignments map[trace.UserID]trace.APID
 	assignedAt  map[trace.UserID]int64
 	servedByUsr map[trace.UserID]int64
 	served      map[trace.APID]int64 // bytes reported by stations
-	sessionLog  *json.Encoder
-	// version counts structural changes (AP set, membership): the
-	// lock-free selection path validates against it before committing.
-	version uint64
 
 	listener net.Listener
 	stop     chan struct{}
@@ -134,6 +141,15 @@ func WithObserver(o AssociationObserver) ControllerOption {
 // WithClock overrides the controller's time source (tests).
 func WithClock(now func() int64) ControllerOption {
 	return func(c *Controller) { c.now = now }
+}
+
+// WithShards partitions the association domain into n AP-sharded lock
+// domains (stable AP→shard hashing), so concurrent associations that
+// land in different shards commit without contending on one lock.
+// n <= 1 keeps a single shard. Policy output is unchanged by the shard
+// count: views are ID-sorted for any n.
+func WithShards(n int) ControllerOption {
+	return func(c *Controller) { c.shards = n }
 }
 
 // WithLease enables lease-based AP registration: an agent-registered AP
@@ -166,7 +182,7 @@ func WithRefresher(fn func(), every time.Duration) ControllerOption {
 // trace.ReadJSONLines/trace.Stream when wrapped as
 // {"kind":"session","session":…}, which is exactly what is written.
 func WithSessionLog(w io.Writer) ControllerOption {
-	return func(c *Controller) { c.sessionLog = json.NewEncoder(w) }
+	return func(c *Controller) { c.sessionLW = w }
 }
 
 // NewController builds a controller around an association policy.
@@ -179,7 +195,7 @@ func NewController(selector wlan.Selector, opts ...ControllerOption) (*Controlle
 		logger:      log.New(io.Discard, "", 0),
 		timeout:     30 * time.Second,
 		now:         func() int64 { return time.Now().Unix() },
-		aps:         make(map[trace.APID]*apEntry),
+		meta:        make(map[trace.APID]*apMeta),
 		assignments: make(map[trace.UserID]trace.APID),
 		assignedAt:  make(map[trace.UserID]int64),
 		servedByUsr: make(map[trace.UserID]int64),
@@ -188,8 +204,19 @@ func NewController(selector wlan.Selector, opts ...ControllerOption) (*Controlle
 	for _, opt := range opts {
 		opt(c)
 	}
+	c.dom = domain.New(domain.Config{
+		Shards: c.shards,
+		// max(reported, believed): a silent agent still yields sane
+		// decisions.
+		Mode:       domain.LoadMax,
+		SessionLog: c.sessionLW,
+		ObsName:    "live",
+	})
 	return c, nil
 }
+
+// Shards reports the association domain's shard count.
+func (c *Controller) Shards() int { return c.dom.Shards() }
 
 // RegisterAP adds a static AP directly (without an agent connection).
 // Static APs never expire. Useful for fixed topologies and tests.
@@ -199,16 +226,13 @@ func (c *Controller) RegisterAP(id trace.APID, capacityBps float64) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, dup := c.aps[id]; dup {
+	if _, dup := c.meta[id]; dup {
 		return fmt.Errorf("protocol: AP %q already registered", id)
 	}
-	c.aps[id] = &apEntry{
-		id:          id,
-		capacityBps: capacityBps,
-		users:       make(map[trace.UserID]float64),
-		static:      true,
+	if err := c.dom.AddAP(id, capacityBps); err != nil {
+		return fmt.Errorf("protocol: %v", err)
 	}
-	c.version++
+	c.meta[id] = &apMeta{static: true}
 	return nil
 }
 
@@ -224,27 +248,22 @@ func (c *Controller) registerAgent(conn *Conn, id trace.APID, capacityBps float6
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ts := c.now()
-	if entry, ok := c.aps[id]; ok {
-		if entry.static {
+	if m, ok := c.meta[id]; ok {
+		if m.static {
 			return 0, nil, fmt.Errorf("protocol: AP %q statically registered", id)
 		}
-		old := entry.agentConn
-		entry.capacityBps = capacityBps
-		entry.lastSeen = ts
-		entry.gen++
-		entry.agentConn = conn
+		old := m.agentConn
+		c.dom.SetCapacity(id, capacityBps)
+		m.lastSeen = ts
+		m.gen++
+		m.agentConn = conn
 		obsAPRenewed.Inc()
-		return entry.gen, old, nil
+		return m.gen, old, nil
 	}
-	c.aps[id] = &apEntry{
-		id:          id,
-		capacityBps: capacityBps,
-		users:       make(map[trace.UserID]float64),
-		lastSeen:    ts,
-		gen:         1,
-		agentConn:   conn,
+	if err := c.dom.AddAP(id, capacityBps); err != nil {
+		return 0, nil, fmt.Errorf("protocol: %v", err)
 	}
-	c.version++
+	c.meta[id] = &apMeta{lastSeen: ts, gen: 1, agentConn: conn}
 	obsAPRegistered.Inc()
 	return 1, nil, nil
 }
@@ -419,14 +438,14 @@ func (c *Controller) handleAP(conn *Conn, hello Message) {
 			return
 		}
 		c.mu.Lock()
-		entry, ok := c.aps[id]
-		if !ok || entry.gen != gen {
+		meta, ok := c.meta[id]
+		if !ok || meta.gen != gen {
 			// Expired or superseded: this connection lost ownership.
 			c.mu.Unlock()
 			return
 		}
-		entry.reportedBps = m.LoadBps
-		entry.lastSeen = c.now()
+		meta.lastSeen = c.now()
+		c.dom.SetReported(id, m.LoadBps)
 		c.mu.Unlock()
 	}
 }
@@ -436,8 +455,8 @@ func (c *Controller) handleAP(conn *Conn, hello Message) {
 // users) alive for a reconnect window before expiry re-homes them.
 func (c *Controller) agentGone(id trace.APID, gen uint64) {
 	c.mu.Lock()
-	if entry, ok := c.aps[id]; ok && entry.gen == gen {
-		entry.agentConn = nil
+	if m, ok := c.meta[id]; ok && m.gen == gen {
+		m.agentConn = nil
 	}
 	c.mu.Unlock()
 	c.logger.Printf("ap %s agent connection lost (lease pending)", id)
@@ -499,28 +518,29 @@ func (c *Controller) handleStation(conn *Conn, hello Message) {
 
 // Associate runs the policy for one user and records the assignment.
 //
-// The policy runs off the controller lock: a short critical section
-// snapshots the AP views and the structural version, selector.Select
-// runs lock-free (concurrent requests overlap), and the commit
-// re-validates the version under the lock. A stale snapshot — an AP
+// The policy runs off every lock: the domain snapshots the AP views
+// with their per-shard version vector, selector.Select runs lock-free
+// (concurrent requests overlap), and the commit re-validates only the
+// shards the decision touches. A stale snapshot — an AP
 // registered/expired or membership changed mid-selection — re-runs the
 // selection, up to maxSelectRetries times; after that the decision is
 // committed against current state anyway (state mutation stays fully
-// serialized, so staleness can cost optimality but never consistency).
+// serialized per shard, so staleness can cost optimality but never
+// consistency). A decision inside one shard commits on the domain's
+// single-lock fast path, so disjoint associations scale with the shard
+// count.
 func (c *Controller) Associate(user trace.UserID, demandBps float64) (trace.APID, error) {
 	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
 		ts := c.now()
 		evs, conns := c.expireLocked(ts)
-		if len(c.aps) == 0 {
-			c.mu.Unlock()
-			c.emitLifecycle(evs, conns)
-			return "", errors.New("protocol: no APs registered")
-		}
-		views := c.viewsLocked()
-		ver := c.version
 		c.mu.Unlock()
 		c.emitLifecycle(evs, conns)
+
+		views, ver := c.dom.Views(user)
+		if len(views) == 0 {
+			return "", errors.New("protocol: no APs registered")
+		}
 
 		ap, err := c.selector.Select(wlan.Request{
 			User:      user,
@@ -532,51 +552,183 @@ func (c *Controller) Associate(user trace.UserID, demandBps float64) (trace.APID
 		}
 
 		c.mu.Lock()
-		entry, ok := c.aps[ap]
-		if !ok {
+		p := domain.Placement{User: user, AP: ap, DemandBps: demandBps}
+		prevAP, hadPrev := c.assignments[user]
+		if hadPrev {
+			// Re-associating moves the user (a fresh request supersedes):
+			// the removal from the previous AP and the new placement land
+			// in one atomic domain commit.
+			p.Prev = prevAP
+		}
+		verArg := ver
+		if attempt >= maxSelectRetries {
+			verArg = nil // force: retries exhausted
+		}
+		if _, err := c.dom.Commit([]domain.Placement{p}, verArg); err != nil {
 			c.mu.Unlock()
-			if attempt < maxSelectRetries {
+			if attempt < maxSelectRetries &&
+				(errors.Is(err, domain.ErrStale) || errors.Is(err, domain.ErrUnknownAP)) {
 				obsSelectRetries.Inc()
 				continue
 			}
-			return "", fmt.Errorf("protocol: policy chose unknown AP %q", ap)
-		}
-		if c.version != ver && attempt < maxSelectRetries {
-			c.mu.Unlock()
-			obsSelectRetries.Inc()
-			continue
-		}
-		// Commit. Re-associating moves the user (a fresh request
-		// supersedes) and completes the previous session.
-		var prevAP trace.APID
-		hadPrev := false
-		if prev, ok := c.assignments[user]; ok {
-			if prevEntry, ok := c.aps[prev]; ok {
-				delete(prevEntry.users, user)
+			if errors.Is(err, domain.ErrUnknownAP) {
+				return "", fmt.Errorf("protocol: policy chose unknown AP %q", ap)
 			}
-			c.sessionRecordLocked(user, prev, ts)
-			obsAssocMoves.Inc()
-			prevAP, hadPrev = prev, true
+			return "", fmt.Errorf("protocol: commit: %w", err)
 		}
-		entry.users[user] = demandBps
+		if hadPrev {
+			c.sessionRecordLocked(user, prevAP, ts)
+			obsAssocMoves.Inc()
+		}
 		c.assignments[user] = ap
 		c.assignedAt[user] = ts
 		c.servedByUsr[user] = 0
-		c.version++
 		c.logger.Printf("assoc %s -> %s (demand %.0f B/s)", user, ap, demandBps)
-		obs := c.observer
+		obsv := c.observer
 		c.mu.Unlock()
 
 		// Notify outside the lock: observers may be slow.
-		if obs != nil {
+		if obsv != nil {
 			if hadPrev {
-				if err := obs.Disconnect(user, prevAP, ts); err != nil {
+				if err := obsv.Disconnect(user, prevAP, ts); err != nil {
 					c.logger.Printf("observer disconnect %s: %v", user, err)
 				}
 			}
-			obs.Connect(user, ap, ts)
+			obsv.Connect(user, ap, ts)
 		}
 		return ap, nil
+	}
+}
+
+// AssociateBatch runs the policy once for a group of co-arriving users
+// and commits every placement in one atomic domain commit — S³'s
+// Algorithm 1 distributing a socially-tight clique across APs in a
+// single decision. When the clique's APs span domain shards, the commit
+// takes the deterministic two-phase path (involved shards locked in
+// ascending order, all-or-nothing), so a concurrent association never
+// observes half a clique placed.
+//
+// Requests should carry one entry per user; duplicates beyond the first
+// fall back to individual Associate calls, as do users the batch
+// decision leaves unplaced and all requests when the policy is not a
+// wlan.BatchSelector or the group has fewer than two members. The
+// returned map records every user's final AP, keyed as placed so far
+// even when an error aborts the remainder.
+func (c *Controller) AssociateBatch(reqs []wlan.Request) (map[trace.UserID]trace.APID, error) {
+	out := make(map[trace.UserID]trace.APID, len(reqs))
+	bs, ok := c.selector.(wlan.BatchSelector)
+	if !ok || len(reqs) < 2 {
+		for _, r := range reqs {
+			ap, err := c.Associate(r.User, r.DemandBps)
+			if err != nil {
+				return out, err
+			}
+			out[r.User] = ap
+		}
+		return out, nil
+	}
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		ts := c.now()
+		evs, conns := c.expireLocked(ts)
+		c.mu.Unlock()
+		c.emitLifecycle(evs, conns)
+
+		views, ver := c.dom.Views(reqs[0].User)
+		if len(views) == 0 {
+			return out, errors.New("protocol: no APs registered")
+		}
+
+		// One request per user joins the joint decision (mirroring the
+		// simulator's batch path); duplicates fall through below.
+		seen := make(map[trace.UserID]bool, len(reqs))
+		batchReqs := make([]wlan.Request, 0, len(reqs))
+		for _, r := range reqs {
+			if seen[r.User] {
+				continue
+			}
+			seen[r.User] = true
+			batchReqs = append(batchReqs, r)
+		}
+		m, err := bs.SelectBatch(batchReqs, views)
+		if err != nil {
+			return out, fmt.Errorf("protocol: policy: %w", err)
+		}
+
+		c.mu.Lock()
+		type move struct {
+			user trace.UserID
+			prev trace.APID
+		}
+		var (
+			ps      []domain.Placement
+			moves   []move
+			rest    []wlan.Request // duplicates and unplaced users
+			claimed = make(map[trace.UserID]bool, len(batchReqs))
+		)
+		for _, r := range reqs {
+			ap, placed := m[r.User]
+			if !placed || claimed[r.User] {
+				rest = append(rest, r)
+				continue
+			}
+			claimed[r.User] = true
+			p := domain.Placement{User: r.User, AP: ap, DemandBps: r.DemandBps}
+			if prev, had := c.assignments[r.User]; had {
+				p.Prev = prev
+				moves = append(moves, move{user: r.User, prev: prev})
+			}
+			ps = append(ps, p)
+		}
+		verArg := ver
+		if attempt >= maxSelectRetries {
+			verArg = nil // force: retries exhausted
+		}
+		if _, err := c.dom.Commit(ps, verArg); err != nil {
+			c.mu.Unlock()
+			if attempt < maxSelectRetries &&
+				(errors.Is(err, domain.ErrStale) || errors.Is(err, domain.ErrUnknownAP)) {
+				obsSelectRetries.Inc()
+				continue
+			}
+			if errors.Is(err, domain.ErrUnknownAP) {
+				return out, fmt.Errorf("protocol: policy chose unknown AP (%v)", err)
+			}
+			return out, fmt.Errorf("protocol: commit: %w", err)
+		}
+		for _, mv := range moves {
+			c.sessionRecordLocked(mv.user, mv.prev, ts)
+			obsAssocMoves.Inc()
+		}
+		for _, p := range ps {
+			c.assignments[p.User] = p.AP
+			c.assignedAt[p.User] = ts
+			c.servedByUsr[p.User] = 0
+			out[p.User] = p.AP
+			c.logger.Printf("assoc %s -> %s (demand %.0f B/s, batch)", p.User, p.AP, p.DemandBps)
+		}
+		obsv := c.observer
+		c.mu.Unlock()
+
+		if obsv != nil {
+			for _, mv := range moves {
+				if err := obsv.Disconnect(mv.user, mv.prev, ts); err != nil {
+					c.logger.Printf("observer disconnect %s: %v", mv.user, err)
+				}
+			}
+			for _, p := range ps {
+				obsv.Connect(p.User, p.AP, ts)
+			}
+		}
+
+		for _, r := range rest {
+			ap, err := c.Associate(r.User, r.DemandBps)
+			if err != nil {
+				return out, err
+			}
+			out[r.User] = ap
+		}
+		return out, nil
 	}
 }
 
@@ -589,45 +741,32 @@ func (c *Controller) disassociate(user trace.UserID) {
 		return
 	}
 	delete(c.assignments, user)
-	if entry, ok := c.aps[ap]; ok {
-		delete(entry.users, user)
-	}
+	c.dom.LeaveAll(user, ap)
 	c.logger.Printf("disassoc %s from %s", user, ap)
 	c.sessionRecordLocked(user, ap, ts)
 	delete(c.assignedAt, user)
 	delete(c.servedByUsr, user)
-	c.version++
-	obs := c.observer
+	obsv := c.observer
 	c.mu.Unlock()
 
-	if obs != nil {
-		if err := obs.Disconnect(user, ap, ts); err != nil {
+	if obsv != nil {
+		if err := obsv.Disconnect(user, ap, ts); err != nil {
 			c.logger.Printf("observer disconnect %s: %v", user, err)
 		}
 	}
 }
 
 // sessionRecordLocked emits one completed-association record to the
-// session log (if configured). Must run with c.mu held, before the
-// user's assignedAt/servedByUsr bookkeeping is reset.
+// session log via the domain (if configured). Must run with c.mu held,
+// before the user's assignedAt/servedByUsr bookkeeping is reset.
 func (c *Controller) sessionRecordLocked(user trace.UserID, ap trace.APID, ts int64) {
-	if c.sessionLog == nil {
-		return
-	}
-	rec := struct {
-		Kind    string        `json:"kind"`
-		Session trace.Session `json:"session"`
-	}{
-		Kind: "session",
-		Session: trace.Session{
-			User:         user,
-			AP:           ap,
-			ConnectAt:    c.assignedAt[user],
-			DisconnectAt: ts,
-			Bytes:        c.servedByUsr[user],
-		},
-	}
-	if err := c.sessionLog.Encode(rec); err != nil {
+	if err := c.dom.LogSession(trace.Session{
+		User:         user,
+		AP:           ap,
+		ConnectAt:    c.assignedAt[user],
+		DisconnectAt: ts,
+		Bytes:        c.servedByUsr[user],
+	}); err != nil {
 		c.logger.Printf("session log: %v", err)
 	}
 }
@@ -636,31 +775,36 @@ func (c *Controller) sessionRecordLocked(user trace.UserID, ap trace.APID, ts in
 // re-homes their believed users: assignments are dropped, sessions
 // logged, and observer disconnects gathered for emission outside the
 // lock (alongside any lingering agent connections to close). Must run
-// with c.mu held.
+// with c.mu held. Expiry order is sorted by AP ID for determinism.
 func (c *Controller) expireLocked(ts int64) ([]lifecycleEvent, []*Conn) {
 	if c.leaseSeconds <= 0 {
 		return nil, nil
 	}
+	var expired []trace.APID
+	for id, m := range c.meta {
+		if !m.static && ts-m.lastSeen > c.leaseSeconds {
+			expired = append(expired, id)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
 	var evs []lifecycleEvent
 	var conns []*Conn
-	for id, entry := range c.aps {
-		if entry.static || ts-entry.lastSeen <= c.leaseSeconds {
-			continue
+	for _, id := range expired {
+		m := c.meta[id]
+		evicted, _ := c.dom.RemoveAP(id)
+		for _, ev := range evicted {
+			delete(c.assignments, ev.User)
+			c.sessionRecordLocked(ev.User, id, ts)
+			delete(c.assignedAt, ev.User)
+			delete(c.servedByUsr, ev.User)
+			evs = append(evs, lifecycleEvent{user: ev.User, ap: id, ts: ts})
 		}
-		for u := range entry.users {
-			delete(c.assignments, u)
-			c.sessionRecordLocked(u, id, ts)
-			delete(c.assignedAt, u)
-			delete(c.servedByUsr, u)
-			evs = append(evs, lifecycleEvent{user: u, ap: id, ts: ts})
-		}
-		if entry.agentConn != nil {
-			conns = append(conns, entry.agentConn)
+		if m.agentConn != nil {
+			conns = append(conns, m.agentConn)
 		}
 		c.logger.Printf("ap %s lease expired (silent %ds, %d users re-homed)",
-			id, ts-entry.lastSeen, len(entry.users))
-		delete(c.aps, id)
-		c.version++
+			id, ts-m.lastSeen, len(evicted))
+		delete(c.meta, id)
 		obsLeaseExpired.Inc()
 	}
 	return evs, conns
@@ -682,62 +826,23 @@ func (c *Controller) emitLifecycle(evs []lifecycleEvent, conns []*Conn) {
 	}
 }
 
-// viewsLocked snapshots AP state for the policy. Load is the max of the
-// agent-reported load and the sum of believed demands, so a silent agent
-// still yields sane decisions.
-func (c *Controller) viewsLocked() []wlan.APView {
-	ids := make([]trace.APID, 0, len(c.aps))
-	for id := range c.aps {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	views := make([]wlan.APView, 0, len(ids))
-	for _, id := range ids {
-		entry := c.aps[id]
-		users := make([]trace.UserID, 0, len(entry.users))
-		for u := range entry.users {
-			users = append(users, u)
-		}
-		sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
-		demands := make([]float64, len(users))
-		var believed float64
-		for i, u := range users {
-			demands[i] = entry.users[u]
-			believed += demands[i]
-		}
-		load := entry.reportedBps
-		if believed > load {
-			load = believed
-		}
-		views = append(views, wlan.APView{
-			ID:          id,
-			CapacityBps: entry.capacityBps,
-			LoadBps:     load,
-			Users:       users,
-			UserDemands: demands,
-			RSSI:        -50,
-		})
-	}
-	return views
-}
-
 // Snapshot reports the controller's current state for inspection: per-AP
 // associated users and served volume. Taking a snapshot also sweeps
 // expired leases, so it reflects only live APs.
 func (c *Controller) Snapshot() map[trace.APID]APStatus {
 	c.mu.Lock()
 	evs, conns := c.expireLocked(c.now())
-	out := make(map[trace.APID]APStatus, len(c.aps))
-	for id, entry := range c.aps {
-		users := make([]trace.UserID, 0, len(entry.users))
-		for u := range entry.users {
-			users = append(users, u)
+	ids := c.dom.APs()
+	out := make(map[trace.APID]APStatus, len(ids))
+	for _, id := range ids {
+		info, ok := c.dom.Info(id)
+		if !ok {
+			continue
 		}
-		sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
 		out[id] = APStatus{
-			CapacityBps: entry.capacityBps,
-			ReportedBps: entry.reportedBps,
-			Users:       users,
+			CapacityBps: info.CapacityBps,
+			ReportedBps: info.ReportedBps,
+			Users:       info.Users,
 			ServedBytes: c.served[id],
 		}
 	}

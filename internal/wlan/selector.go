@@ -1,6 +1,7 @@
 package wlan
 
 import (
+	"github.com/s3wlan/s3wlan/internal/domain"
 	"github.com/s3wlan/s3wlan/internal/trace"
 )
 
@@ -15,34 +16,13 @@ type Request struct {
 	DemandBps float64
 }
 
-// APView is a selector's read-only view of one AP's live state.
-type APView struct {
-	// ID identifies the AP.
-	ID trace.APID
-	// CapacityBps is the AP's bandwidth W(i) in bytes/second.
-	CapacityBps float64
-	// LoadBps is the sum of demands of currently associated users.
-	LoadBps float64
-	// Users are the currently associated users (sorted).
-	Users []trace.UserID
-	// UserDemands[i] is the believed demand (bytes/second) of Users[i].
-	// May be nil when the caller does not track per-user demand.
-	UserDemands []float64
-	// RSSI is the received signal strength the requesting user sees for
-	// this AP, in dBm (higher is stronger). Synthesized by the simulator;
-	// used only by the strongest-signal baseline.
-	RSSI float64
-}
-
-// HasCapacityFor reports whether adding demand keeps the AP within its
-// bandwidth constraint Σw(u) ≤ W(i). APs with zero capacity are treated
-// as unconstrained (capacity not modeled).
-func (v APView) HasCapacityFor(demand float64) bool {
-	if v.CapacityBps <= 0 {
-		return true
-	}
-	return v.LoadBps+demand <= v.CapacityBps
-}
+// APView is a selector's read-only view of one AP's live state. It is
+// an alias of domain.APView: the shared association-domain core
+// (internal/domain) assembles the views for both this simulator and the
+// live controller, so a policy sees byte-identical candidate state in
+// either driver. Capacity admission (HasCapacityFor) routes through
+// domain.Admits.
+type APView = domain.APView
 
 // Selector is an association policy: given a request and the live state of
 // the candidate APs in the controller domain, pick one AP. Implementations

@@ -3,10 +3,10 @@ package wlan
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"time"
 
+	"github.com/s3wlan/s3wlan/internal/domain"
 	"github.com/s3wlan/s3wlan/internal/eventsim"
 	"github.com/s3wlan/s3wlan/internal/metrics"
 	"github.com/s3wlan/s3wlan/internal/obs"
@@ -71,6 +71,11 @@ type Config struct {
 	// simulator performs (e.g. an incremental sociality engine learning
 	// from the replay).
 	Observer AssociationObserver
+	// Shards is the association-domain shard count per controller
+	// (<= 1 keeps one shard). The replay is single-threaded, so shards
+	// only change lock granularity, never assignments: domain views are
+	// ID-sorted for any shard count.
+	Shards int
 }
 
 // Assignment records where the simulator placed one session.
@@ -134,23 +139,13 @@ func (r *Result) Controllers() []trace.ControllerID {
 	return out
 }
 
-// apState is the simulator's live AP bookkeeping.
-type apState struct {
-	ap      trace.AP
-	loadBps float64
-	users   map[trace.UserID]float64 // user -> demand
-	failed  bool
-	// reportedLoad is the load snapshot selectors see when load reports
-	// are periodic (Config.LoadReportIntervalSeconds > 0).
-	reportedLoad float64
-	// staleLoad selects whether views expose reportedLoad or loadBps.
-	staleLoad bool
-}
-
-// domain is one controller's live state.
-type domain struct {
+// ctrlDomain is one controller's driver state: the selector plus the
+// shared association-domain core that owns all AP registry, load
+// accounting, admission, and view assembly. The simulator replays the
+// trace against the same state machine the live controller serves from.
+type ctrlDomain struct {
 	id       trace.ControllerID
-	aps      []*apState // stable order
+	dom      *domain.Domain
 	selector Selector
 	result   *DomainResult
 	observer AssociationObserver
@@ -185,15 +180,25 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 		Domains:    make(map[trace.ControllerID]*DomainResult),
 	}
 
-	domains := make(map[trace.ControllerID]*domain)
+	mode := domain.LoadBelieved
+	if cfg.LoadReportIntervalSeconds > 0 {
+		mode = domain.LoadReported
+	}
+	domains := make(map[trace.ControllerID]*ctrlDomain)
 	for _, c := range tr.Topology.Controllers() {
 		aps := tr.Topology.APsOf(c)
 		if len(aps) == 0 {
 			continue
 		}
-		d := &domain{id: c, observer: cfg.Observer}
+		d := &ctrlDomain{
+			id:       c,
+			observer: cfg.Observer,
+			dom:      domain.New(domain.Config{Shards: cfg.Shards, Mode: mode}),
+		}
 		for _, ap := range aps {
-			d.aps = append(d.aps, &apState{ap: ap, users: make(map[trace.UserID]float64)})
+			if err := d.dom.AddAP(ap.ID, ap.CapacityBps); err != nil {
+				return nil, fmt.Errorf("wlan: controller %q: %v", c, err)
+			}
 		}
 		d.selector = cfg.SelectorFor(c, aps)
 		if d.selector == nil {
@@ -232,19 +237,12 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 
 	engine := eventsim.New(start)
 	if cfg.LoadReportIntervalSeconds > 0 {
-		for _, d := range domains {
-			for _, st := range d.aps {
-				st.staleLoad = true
-			}
-		}
 		// One report tick refreshes every AP's load snapshot; the chain
 		// self-terminates when the workload drains.
 		err := engine.ScheduleEvery(cfg.LoadReportIntervalSeconds,
 			func(*eventsim.Engine) {
 				for _, d := range domains {
-					for _, st := range d.aps {
-						st.reportedLoad = st.loadBps
-					}
+					d.dom.PublishReports()
 				}
 			})
 		if err != nil {
@@ -265,19 +263,19 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 		failures[f.AP] = append(failures[f.AP], f)
 	}
 	for _, d := range domains {
-		for _, st := range d.aps {
-			for _, f := range failures[st.ap.ID] {
-				st := st
+		for _, apID := range d.dom.APs() {
+			for _, f := range failures[apID] {
+				apID := apID
 				f := f
 				d := d
 				if err := engine.ScheduleAt(f.From, func(e *eventsim.Engine) {
-					st.failed = true
-					truncateSessions(d, st, e.Now())
+					evicted := d.dom.SetFailed(apID, true)
+					truncateSessions(d, apID, evicted, e.Now())
 				}); err != nil {
 					return nil, err
 				}
 				if err := engine.ScheduleAt(f.To, func(*eventsim.Engine) {
-					st.failed = false
+					d.dom.SetFailed(apID, false)
 				}); err != nil {
 					return nil, err
 				}
@@ -317,14 +315,17 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// truncateSessions ends all sessions on a failed AP at time now.
-func truncateSessions(d *domain, st *apState, now int64) {
+// truncateSessions ends the evicted users' open sessions on a failed AP
+// at time now. The domain has already drained the AP's load accounting;
+// this trims the recorded assignments and notifies the observer.
+func truncateSessions(d *ctrlDomain, ap trace.APID, evicted []domain.Eviction, now int64) {
+	live := make(map[trace.UserID]bool, len(evicted))
+	for _, ev := range evicted {
+		live[ev.User] = true
+	}
 	for i := range d.result.Assigned {
 		a := &d.result.Assigned[i]
-		if a.AP != st.ap.ID || a.Session.DisconnectAt <= now {
-			continue
-		}
-		if _, live := st.users[a.Session.User]; !live {
+		if a.AP != ap || a.Session.DisconnectAt <= now || !live[a.Session.User] {
 			continue
 		}
 		// Scale the served volume down to the truncated duration.
@@ -335,15 +336,13 @@ func truncateSessions(d *domain, st *apState, now int64) {
 		}
 		a.Session.DisconnectAt = now
 		if d.observer != nil {
-			_ = d.observer.Disconnect(a.Session.User, st.ap.ID, now)
+			_ = d.observer.Disconnect(a.Session.User, ap, now)
 		}
 	}
-	st.loadBps = 0
-	st.users = make(map[trace.UserID]float64)
 }
 
-func handleBatch(e *eventsim.Engine, d *domain, batch []trace.Session, cfg Config) error {
-	views := d.views(batch[0].User)
+func handleBatch(e *eventsim.Engine, d *ctrlDomain, batch []trace.Session, cfg Config) error {
+	views, _ := d.dom.Views(batch[0].User)
 	if len(views) == 0 {
 		return fmt.Errorf("wlan: controller %q has no available APs at t=%d",
 			d.id, e.Now())
@@ -378,10 +377,11 @@ func handleBatch(e *eventsim.Engine, d *domain, batch []trace.Session, cfg Confi
 		apID, ok := placed[s.User]
 		demand := cfg.DemandFor(s)
 		if !ok {
+			vs, _ := d.dom.Views(s.User)
 			var err error
 			apID, err = d.selector.Select(Request{
 				User: s.User, At: s.ConnectAt, DemandBps: demand,
-			}, d.views(s.User))
+			}, vs)
 			if err != nil {
 				return fmt.Errorf("wlan: select on %q: %w", d.id, err)
 			}
@@ -389,35 +389,29 @@ func handleBatch(e *eventsim.Engine, d *domain, batch []trace.Session, cfg Confi
 		if err := d.place(e, s, apID, demand); err != nil {
 			return err
 		}
-		// Re-read views for the next batch member so sequential
-		// placements see updated loads.
-		views = d.views(s.User)
 	}
 	return nil
 }
 
 // place associates session s with AP apID and schedules its departure.
-func (d *domain) place(e *eventsim.Engine, s trace.Session, apID trace.APID, demand float64) error {
-	var st *apState
-	for _, a := range d.aps {
-		if a.ap.ID == apID {
-			st = a
-			break
+// The commit is forced (nil version): the replay is single-threaded, so
+// a snapshot can never be stale.
+func (d *ctrlDomain) place(e *eventsim.Engine, s trace.Session, apID trace.APID, demand float64) error {
+	cres, err := d.dom.Commit([]domain.Placement{
+		{User: s.User, AP: apID, DemandBps: demand},
+	}, nil)
+	if err != nil {
+		switch {
+		case errors.Is(err, domain.ErrUnknownAP):
+			return fmt.Errorf("wlan: selector %q chose unknown AP %q",
+				d.selector.Name(), apID)
+		case errors.Is(err, domain.ErrFailedAP):
+			return fmt.Errorf("wlan: selector %q chose failed AP %q",
+				d.selector.Name(), apID)
 		}
+		return fmt.Errorf("wlan: commit on %q: %w", d.id, err)
 	}
-	if st == nil {
-		return fmt.Errorf("wlan: selector %q chose unknown AP %q",
-			d.selector.Name(), apID)
-	}
-	if st.failed {
-		return fmt.Errorf("wlan: selector %q chose failed AP %q",
-			d.selector.Name(), apID)
-	}
-	if st.ap.CapacityBps > 0 && st.loadBps+demand > st.ap.CapacityBps {
-		d.result.Overloads++
-	}
-	st.users[s.User] += demand
-	st.loadBps += demand
+	d.result.Overloads += cres.Overloads
 	d.result.Assigned = append(d.result.Assigned, Assignment{Session: s, AP: apID})
 	if d.observer != nil {
 		d.observer.Connect(s.User, apID, s.ConnectAt)
@@ -435,64 +429,8 @@ func (d *domain) place(e *eventsim.Engine, s trace.Session, apID trace.APID, dem
 			return // already released (and observed) by failure truncation
 		}
 		if d.observer != nil {
-			_ = d.observer.Disconnect(s.User, st.ap.ID, en.Now())
+			_ = d.observer.Disconnect(s.User, apID, en.Now())
 		}
-		if cur, ok := st.users[s.User]; ok {
-			rem := cur - demand
-			if rem <= 1e-9 {
-				delete(st.users, s.User)
-			} else {
-				st.users[s.User] = rem
-			}
-			st.loadBps -= demand
-			if st.loadBps < 0 {
-				st.loadBps = 0
-			}
-		}
+		d.dom.Leave(s.User, apID, demand)
 	})
-}
-
-// views snapshots the domain's non-failed APs for a selector call,
-// synthesizing a deterministic per-(user, AP) RSSI.
-func (d *domain) views(u trace.UserID) []APView {
-	out := make([]APView, 0, len(d.aps))
-	for _, st := range d.aps {
-		if st.failed {
-			continue
-		}
-		users := make([]trace.UserID, 0, len(st.users))
-		for id := range st.users {
-			users = append(users, id)
-		}
-		sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
-		demands := make([]float64, len(users))
-		for i, id := range users {
-			demands[i] = st.users[id]
-		}
-		load := st.loadBps
-		if st.staleLoad {
-			load = st.reportedLoad
-		}
-		out = append(out, APView{
-			ID:          st.ap.ID,
-			CapacityBps: st.ap.CapacityBps,
-			LoadBps:     load,
-			Users:       users,
-			UserDemands: demands,
-			RSSI:        syntheticRSSI(u, st.ap.ID),
-		})
-	}
-	return out
-}
-
-// syntheticRSSI derives a stable pseudo-random signal strength in
-// [-90, -30] dBm from the (user, AP) pair. It stands in for physical
-// proximity: each user consistently "hears" some APs louder than others,
-// which is all the strongest-RSSI baseline needs.
-func syntheticRSSI(u trace.UserID, ap trace.APID) float64 {
-	h := fnv.New32a()
-	h.Write([]byte(u))
-	h.Write([]byte{0})
-	h.Write([]byte(ap))
-	return -90 + float64(h.Sum32()%61)
 }

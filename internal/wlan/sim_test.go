@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/s3wlan/s3wlan/internal/domain"
 	"github.com/s3wlan/s3wlan/internal/trace"
 )
 
@@ -282,8 +283,8 @@ func TestSimulateFailureInjection(t *testing.T) {
 }
 
 func TestSyntheticRSSIStable(t *testing.T) {
-	a := syntheticRSSI("user1", "ap1")
-	b := syntheticRSSI("user1", "ap1")
+	a := domain.SyntheticRSSI("user1", "ap1")
+	b := domain.SyntheticRSSI("user1", "ap1")
 	if a != b {
 		t.Error("RSSI should be deterministic")
 	}
@@ -291,8 +292,8 @@ func TestSyntheticRSSIStable(t *testing.T) {
 		t.Errorf("RSSI %v out of range", a)
 	}
 	// Different pairs usually differ.
-	if syntheticRSSI("user1", "ap1") == syntheticRSSI("user1", "ap2") &&
-		syntheticRSSI("user2", "ap1") == syntheticRSSI("user2", "ap2") {
+	if domain.SyntheticRSSI("user1", "ap1") == domain.SyntheticRSSI("user1", "ap2") &&
+		domain.SyntheticRSSI("user2", "ap1") == domain.SyntheticRSSI("user2", "ap2") {
 		t.Error("suspiciously identical RSSI across APs")
 	}
 }
