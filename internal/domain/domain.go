@@ -361,6 +361,12 @@ func (d *Domain) SetCapacity(id trace.APID, capacityBps float64) bool {
 
 // SetReported records an external load report for one AP (the live
 // controller's agent reports). Reports false for unknown APs.
+//
+// Unlike SetCapacity this deliberately does not bump the shard version:
+// load reports are advisory inputs to LoadReported/LoadMax scoring, not
+// structural changes, so an in-flight decision computed from an older
+// report commits without ErrStale revalidation (matching the
+// pre-extraction controller, where reports never invalidated views).
 func (d *Domain) SetReported(id trace.APID, loadBps float64) bool {
 	sh := d.shardOf(id)
 	sh.mu.Lock()
@@ -626,13 +632,19 @@ func (d *Domain) Leave(u trace.UserID, ap trace.APID, demandBps float64) bool {
 	if !ok {
 		return false
 	}
-	if rem := cur - demandBps; rem <= 1e-9 {
+	// Bound the release by the user's recorded demand so a misreported
+	// leave cannot erase other sessions' believed load on this AP.
+	release := demandBps
+	if release > cur {
+		release = cur
+	}
+	if rem := cur - release; rem <= 1e-9 {
 		delete(st.users, u)
 		sh.entries--
 	} else {
 		st.users[u] = rem
 	}
-	st.believedBps -= demandBps
+	st.believedBps -= release
 	if st.believedBps < 0 {
 		st.believedBps = 0
 	}

@@ -425,8 +425,11 @@ func TestConcurrentCommitsConserveLoad(t *testing.T) {
 			defer wg.Done()
 			u := trace.UserID(fmt.Sprintf("user%d", w))
 			for i := 0; i < opsPer; i++ {
-				views, ver := d.Views(u)
-				ap := views[(w*31+i)%len(views)].ID
+				// Target only the stable APs: Views() transiently
+				// includes churn APs while they are live, and committing
+				// to one races with its removal/failure flip.
+				_, ver := d.Views(u)
+				ap := aps[(w*31+i)%len(aps)]
 				if _, err := d.Commit([]Placement{{User: u, AP: ap, DemandBps: 1}}, ver); err != nil {
 					if !errors.Is(err, ErrStale) {
 						errs <- err
