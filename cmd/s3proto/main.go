@@ -10,6 +10,15 @@
 //	s3proto -policy s3-live -refresh-every 5s     # learn sociality live
 //	s3proto -demo                                  # end-to-end demo
 //	s3proto -chaos -chaos-dur 5s                   # churn + fault soak
+//	s3proto -journal /var/lib/s3/journal           # crash-safe state
+//	s3proto -drive 127.0.0.1:7788 -drive-hold 30s  # load a running controller
+//	s3proto -journal dir -recover-check 8          # assert recovery (CI)
+//
+// With -journal the controller appends every domain mutation to a
+// write-ahead journal (internal/journal) and checkpoints its full state
+// every -checkpoint-every records; restarted with the same directory it
+// resumes with believed loads, assignments and the θ-graph intact. The
+// -fsync flag picks the durability/throughput trade-off.
 //
 // The s3-live policy runs the incremental social-state engine
 // (internal/society/incremental) in the control loop: the controller's
@@ -32,11 +41,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/s3wlan/s3wlan/internal/apps"
 	"github.com/s3wlan/s3wlan/internal/baseline"
 	"github.com/s3wlan/s3wlan/internal/core"
+	"github.com/s3wlan/s3wlan/internal/journal"
 	"github.com/s3wlan/s3wlan/internal/obs"
 	"github.com/s3wlan/s3wlan/internal/protocol"
 	"github.com/s3wlan/s3wlan/internal/protocol/faultconn"
@@ -69,9 +80,23 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "chaos fault-schedule seed")
 		shards   = fs.Int("shards", 0, "association-domain shards (<=1 = one lock domain; decisions are shard-count independent)")
 		verbose  = fs.Bool("v", false, "log controller decisions")
+
+		journalDir = fs.String("journal", "", "write-ahead journal directory (empty = no durability)")
+		fsyncMode  = fs.String("fsync", "always", "journal fsync policy: always, interval or off")
+		ckptEvery  = fs.Int("checkpoint-every", 1024, "journal: checkpoint and rotate after this many records (0 = never)")
+		recovChk   = fs.Int("recover-check", -1, "recover from -journal, assert this many recovered assignments, then exit (CI)")
+
+		driveAddr = fs.String("drive", "", "drive a running controller at this address: register APs, associate stations, hold")
+		driveAPs  = fs.Int("drive-aps", 3, "drive mode: AP agent count")
+		driveStns = fs.Int("drive-stations", 8, "drive mode: station count")
+		driveHold = fs.Duration("drive-hold", time.Minute, "drive mode: how long to hold connections open")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *driveAddr != "" {
+		return runDrive(*driveAddr, *driveAPs, *driveStns, *driveHold, out)
 	}
 
 	selector, engine, err := buildSelector(*policy, *refEvts)
@@ -86,6 +111,37 @@ func run(args []string, out io.Writer) error {
 		opts = append(opts,
 			protocol.WithObserver(engine),
 			protocol.WithRefresher(func() { engine.Refresh() }, *refEvery))
+	}
+	if *journalDir != "" {
+		pol, err := journal.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, protocol.WithJournal(*journalDir, journal.Options{
+			Fsync:           pol,
+			CheckpointEvery: *ckptEvery,
+		}))
+	}
+
+	if *recovChk >= 0 {
+		if *journalDir == "" {
+			return fmt.Errorf("-recover-check requires -journal")
+		}
+		ctl, err := protocol.NewController(selector, opts...)
+		if err != nil {
+			return err
+		}
+		rec := ctl.Recovery()
+		writeRecovery(out, rec)
+		if err := ctl.Close(); err != nil {
+			return err
+		}
+		if rec.Assignments != *recovChk {
+			return fmt.Errorf("recover-check: want %d recovered assignments, got %d",
+				*recovChk, rec.Assignments)
+		}
+		fmt.Fprintf(out, "recover-check ok: %d assignments\n", rec.Assignments)
+		return nil
 	}
 
 	if *chaos {
@@ -108,6 +164,9 @@ func run(args []string, out io.Writer) error {
 	}
 	defer ctl.Close()
 	fmt.Fprintf(out, "controller (%s policy) listening on %s\n", selector.Name(), addr)
+	if rec := ctl.Recovery(); rec != nil {
+		writeRecovery(out, rec)
+	}
 
 	if *demo {
 		if err := runDemo(ctl, addr, out); err != nil {
@@ -123,11 +182,75 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	// Standalone: serve until interrupted.
+	// Standalone: serve until interrupted or terminated. Close (deferred)
+	// drains peers, takes a final checkpoint and flushes the journal, so
+	// both SIGINT and SIGTERM are clean shutdowns.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Fprintln(out, "shutting down")
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(out, "shutting down (%v)\n", s)
+	return nil
+}
+
+// writeRecovery prints a journal-enabled controller's recovery summary.
+func writeRecovery(out io.Writer, rec *protocol.RecoverySummary) {
+	fmt.Fprintf(out,
+		"journal recovery: checkpoint seq %d, %d records replayed, %d APs, %d assignments (corrupt skipped %d, torn tails %d, replay errors %d)\n",
+		rec.Stats.CheckpointSeq, rec.Stats.RecordsReplayed, rec.APs, rec.Assignments,
+		rec.Stats.CorruptSkipped, rec.Stats.TornTails, rec.ReplayErrors)
+}
+
+// runDrive is the crash-smoke load driver: a pure client that registers
+// AP agents, associates stations (with a little traffic each) against a
+// running controller, then holds every connection open — keeping the
+// associations live on the controller — until the hold elapses or the
+// controller goes away (our cue that the kill happened).
+func runDrive(addr string, aps, stations int, hold time.Duration, out io.Writer) error {
+	const timeout = 5 * time.Second
+	agents := make([]*protocol.APAgent, 0, aps)
+	for i := 0; i < aps; i++ {
+		agent, err := protocol.DialAP(addr,
+			trace.APID(fmt.Sprintf("ap-%d", i)), 10e6, timeout)
+		if err != nil {
+			return fmt.Errorf("drive: dial AP %d: %w", i, err)
+		}
+		defer agent.Close()
+		if err := agent.Report(0); err != nil {
+			return fmt.Errorf("drive: AP %d report: %w", i, err)
+		}
+		agents = append(agents, agent)
+	}
+	for i := 0; i < stations; i++ {
+		st, err := protocol.DialStation(addr,
+			trace.UserID(fmt.Sprintf("user-%04d", i)), timeout)
+		if err != nil {
+			return fmt.Errorf("drive: dial station %d: %w", i, err)
+		}
+		defer st.Close()
+		ap, err := st.Associate(50e3)
+		if err != nil {
+			return fmt.Errorf("drive: associate station %d: %w", i, err)
+		}
+		if err := st.SendTraffic(1 << 16); err != nil {
+			return fmt.Errorf("drive: traffic station %d: %w", i, err)
+		}
+		fmt.Fprintf(out, "drive: user-%04d -> %s\n", i, ap)
+	}
+	fmt.Fprintf(out, "drive: %d APs registered, %d stations associated; holding %v\n",
+		aps, stations, hold)
+
+	deadline := time.Now().Add(hold)
+	for time.Now().Before(deadline) {
+		time.Sleep(250 * time.Millisecond)
+		// Heartbeat reports keep AP leases fresh; a failed report means
+		// the controller is gone, which ends the hold.
+		for _, agent := range agents {
+			if err := agent.Report(1e6); err != nil {
+				fmt.Fprintln(out, "drive: controller gone, exiting")
+				return nil
+			}
+		}
+	}
 	return nil
 }
 
@@ -380,15 +503,16 @@ func runChaos(selector wlan.Selector, opts []protocol.ControllerOption, cfg chao
 	return nil
 }
 
-// writeHealth prints the protocol.*, domain.* and society.* health
-// metrics (counters and gauges) from the obs registry in sorted order.
+// writeHealth prints the protocol.*, domain.*, society.* and journal.*
+// health metrics (counters and gauges) from the obs registry in sorted
+// order.
 func writeHealth(out io.Writer) {
 	snap := obs.TakeSnapshot()
 	vals := make(map[string]int64, len(snap.Counters)+len(snap.Gauges))
 	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
 	add := func(name string, v int64) {
 		if strings.HasPrefix(name, "protocol.") || strings.HasPrefix(name, "domain.") ||
-			strings.HasPrefix(name, "society.") {
+			strings.HasPrefix(name, "society.") || strings.HasPrefix(name, "journal.") {
 			names = append(names, name)
 			vals[name] = v
 		}

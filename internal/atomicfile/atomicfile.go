@@ -1,0 +1,58 @@
+// Package atomicfile writes files so that a crash mid-save can never
+// leave a truncated or half-written result in place: content is staged
+// to a temporary file in the destination directory, flushed and fsynced,
+// and only then renamed over the destination. Rename within one
+// directory is atomic on POSIX systems, so readers observe either the
+// old file or the complete new one — never a torn state.
+//
+// It backs every "save" path in the repository that a restart depends
+// on: trace.SaveFile, society.SaveModel, and the journal's checkpoint
+// snapshots.
+package atomicfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes the output of write to path atomically: write
+// receives a buffered writer to a temporary file in path's directory;
+// on success the temp file is flushed, fsynced, closed and renamed onto
+// path. On any failure the temp file is removed and path is untouched.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: create temp for %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("atomicfile: flush %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: sync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicfile: rename %s: %w", path, err)
+	}
+	return nil
+}

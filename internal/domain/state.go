@@ -1,0 +1,121 @@
+package domain
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// State is a Domain's complete association state in portable form — the
+// checkpoint payload of the journal's durability layer. It is
+// shard-layout independent: exporting a 16-shard domain and importing
+// into a single-shard one (or vice versa) yields identical views,
+// because the AP→shard mapping is a pure function of the AP ID.
+type State struct {
+	Version int       `json:"version"`
+	APs     []APState `json:"aps"`
+}
+
+// APState is one AP's exported state. Users and Demands are aligned and
+// sorted by user ID for deterministic serialization.
+type APState struct {
+	ID          trace.APID     `json:"id"`
+	CapacityBps float64        `json:"capacity_bps"`
+	ReportedBps float64        `json:"reported_bps,omitempty"`
+	Failed      bool           `json:"failed,omitempty"`
+	Users       []trace.UserID `json:"users,omitempty"`
+	Demands     []float64      `json:"demands,omitempty"`
+}
+
+// stateVersion guards the serialized format.
+const stateVersion = 1
+
+// ExportState snapshots the domain's full association state: every AP
+// with its capacity, report, failure flag and believed users/demands.
+// Each shard is read under its lock; like Views, the snapshot is
+// per-shard consistent and APs are returned in sorted ID order.
+func (d *Domain) ExportState() *State {
+	st := &State{Version: stateVersion}
+	for _, sh := range d.shards {
+		sh.mu.RLock()
+		for _, id := range sh.ids {
+			ap := sh.aps[id]
+			users, demands := sortedUsers(ap)
+			st.APs = append(st.APs, APState{
+				ID:          id,
+				CapacityBps: ap.capacityBps,
+				ReportedBps: ap.reportedBps,
+				Failed:      ap.failed,
+				Users:       users,
+				Demands:     demands,
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(st.APs, func(i, k int) bool { return st.APs[i].ID < st.APs[k].ID })
+	return st
+}
+
+// ImportState loads an exported state into this domain, which must be
+// empty (freshly constructed). The shard count need not match the
+// exporting domain's.
+func (d *Domain) ImportState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("domain: import nil state")
+	}
+	if st.Version != stateVersion {
+		return fmt.Errorf("domain: unsupported state version %d", st.Version)
+	}
+	if d.Size() != 0 {
+		return fmt.Errorf("domain: import into non-empty domain (%d APs)", d.Size())
+	}
+	for _, ap := range st.APs {
+		if len(ap.Users) != len(ap.Demands) {
+			return fmt.Errorf("domain: AP %q state has %d users but %d demands",
+				ap.ID, len(ap.Users), len(ap.Demands))
+		}
+		if err := d.AddAP(ap.ID, ap.CapacityBps); err != nil {
+			return err
+		}
+		sh := d.shardOf(ap.ID)
+		sh.mu.Lock()
+		apst := sh.aps[ap.ID]
+		apst.reportedBps = ap.ReportedBps
+		apst.failed = ap.Failed
+		for i, u := range ap.Users {
+			if u == "" {
+				sh.mu.Unlock()
+				return fmt.Errorf("domain: AP %q state has empty user id", ap.ID)
+			}
+			if _, dup := apst.users[u]; !dup {
+				sh.entries++
+			}
+			apst.users[u] += ap.Demands[i]
+			apst.believedBps += ap.Demands[i]
+		}
+		sh.version++
+		sh.syncGauges()
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// WriteState serializes the domain's exported state to w as JSON.
+func (d *Domain) WriteState(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(d.ExportState()); err != nil {
+		return fmt.Errorf("domain: encode state: %w", err)
+	}
+	return nil
+}
+
+// ReadState parses a serialized state from r.
+func ReadState(r io.Reader) (*State, error) {
+	var st State
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("domain: decode state: %w", err)
+	}
+	return &st, nil
+}

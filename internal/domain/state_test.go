@@ -1,0 +1,125 @@
+package domain
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// populateState builds a domain with a mixed population: capacities,
+// reports, a failed AP, multi-session users and a user on two APs.
+func populateState(t *testing.T, shards int) *Domain {
+	t.Helper()
+	d := New(Config{Shards: shards})
+	for i := 0; i < 6; i++ {
+		if err := d.AddAP(trace.APID(fmt.Sprintf("ap-%d", i)), float64(10+i)*1e6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps := []Placement{
+		{User: "u-1", AP: "ap-0", DemandBps: 100},
+		{User: "u-2", AP: "ap-0", DemandBps: 200},
+		{User: "u-2", AP: "ap-3", DemandBps: 300}, // same user, second AP
+		{User: "u-3", AP: "ap-5", DemandBps: 400},
+	}
+	if _, err := d.Commit(ps, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A second session for u-1 on ap-0 (multiplicity).
+	if _, err := d.Commit([]Placement{{User: "u-1", AP: "ap-0", DemandBps: 50}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	d.SetReported("ap-1", 5e6)
+	d.SetFailed("ap-4", true)
+	return d
+}
+
+func TestStateRoundtripAcrossShardCounts(t *testing.T) {
+	for _, expShards := range []int{1, 4} {
+		for _, impShards := range []int{1, 8} {
+			src := populateState(t, expShards)
+			var buf bytes.Buffer
+			if err := src.WriteState(&buf); err != nil {
+				t.Fatal(err)
+			}
+			st, err := ReadState(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := New(Config{Shards: impShards})
+			if err := dst.ImportState(st); err != nil {
+				t.Fatal(err)
+			}
+			// Identical exported state (shard-layout independent).
+			if !reflect.DeepEqual(src.ExportState(), dst.ExportState()) {
+				t.Fatalf("export %d shards -> import %d shards: state diverged\nsrc %+v\ndst %+v",
+					expShards, impShards, src.ExportState(), dst.ExportState())
+			}
+			// Identical policy-visible views.
+			sv, _ := src.Views("u-1")
+			dv, _ := dst.Views("u-1")
+			if !reflect.DeepEqual(sv, dv) {
+				t.Fatalf("views diverged: %+v vs %+v", sv, dv)
+			}
+			if src.Size() != dst.Size() {
+				t.Fatalf("size %d vs %d", src.Size(), dst.Size())
+			}
+		}
+	}
+}
+
+func TestImportStateRejectsNonEmptyDomain(t *testing.T) {
+	src := populateState(t, 1)
+	st := src.ExportState()
+	dst := New(Config{})
+	if err := dst.AddAP("existing", 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportState(st); err == nil {
+		t.Fatal("import into non-empty domain must fail")
+	}
+}
+
+func TestImportStateRejectsDamage(t *testing.T) {
+	cases := map[string]*State{
+		"nil":          nil,
+		"version":      {Version: 99},
+		"misaligned":   {Version: stateVersion, APs: []APState{{ID: "a", Users: []trace.UserID{"u"}, Demands: nil}}},
+		"empty-user":   {Version: stateVersion, APs: []APState{{ID: "a", Users: []trace.UserID{""}, Demands: []float64{1}}}},
+	}
+	for name, st := range cases {
+		if err := New(Config{}).ImportState(st); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+// TestImportStatePreservesLeaveSemantics: multiplicity must survive the
+// round trip — u-1 had two sessions on ap-0, so one LeaveAll removes the
+// whole believed demand in both the original and the restored domain.
+func TestImportStatePreservesLeaveSemantics(t *testing.T) {
+	src := populateState(t, 2)
+	var buf bytes.Buffer
+	if err := src.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(Config{Shards: 2})
+	if err := dst.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	sd, sok := src.LeaveAll("u-1", "ap-0")
+	dd, dok := dst.LeaveAll("u-1", "ap-0")
+	if sok != dok || sd != dd {
+		t.Fatalf("LeaveAll diverged: src (%v,%v) dst (%v,%v)", sd, sok, dd, dok)
+	}
+	if !reflect.DeepEqual(src.ExportState(), dst.ExportState()) {
+		t.Fatal("post-leave state diverged")
+	}
+}

@@ -1,0 +1,173 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// benchRecord is a realistic single-placement association record — the
+// dominant journal traffic in a live controller.
+func benchRecord(i int) Record {
+	return Record{
+		Op: OpAssoc, TS: int64(1000 + i),
+		Placements: []Placement{{
+			User:      trace.UserID(fmt.Sprintf("user-%06d", i%4096)),
+			AP:        trace.APID(fmt.Sprintf("ap-%03d", i%64)),
+			DemandBps: 50e3,
+		}},
+	}
+}
+
+// benchAppend measures append throughput under one fsync policy.
+func benchAppend(b *testing.B, pol FsyncPolicy) {
+	j, _, err := Open(b.TempDir(), Options{Fsync: pol})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalAppend publishes the durability/throughput trade-off:
+// FsyncAlways pays one disk flush per record, FsyncInterval amortizes
+// it onto a background tick, FsyncOff leaves flushing to the OS.
+func BenchmarkJournalAppend(b *testing.B) {
+	for _, pol := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncOff} {
+		b.Run("fsync="+pol.String(), func(b *testing.B) {
+			benchAppend(b, pol)
+		})
+	}
+}
+
+// buildRecoverDir writes a journal with one checkpoint followed by
+// `tail` record frames — the shape BenchmarkRecover replays.
+func buildRecoverDir(tb testing.TB, dir string, tail int) {
+	tb.Helper()
+	ckpt := []byte(`{"domain":{"version":1}}`)
+	j, _, err := Open(dir, Options{
+		Fsync: FsyncOff,
+		State: func(w io.Writer) error { _, err := w.Write(ckpt); return err },
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := j.Append(benchRecord(0)); err != nil {
+		tb.Fatal(err)
+	}
+	if err := j.Checkpoint(); err != nil { // rotate; the rest is pure tail
+		tb.Fatal(err)
+	}
+	for i := 0; i < tail; i++ {
+		if err := j.Append(benchRecord(i + 1)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkRecover measures cold-start recovery: newest checkpoint plus
+// a 100k-record tail decoded and parsed.
+func BenchmarkRecover(b *testing.B) {
+	const tail = 100_000
+	dir := b.TempDir()
+	buildRecoverDir(b, dir, tail)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := Recover(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rec.Records) != tail {
+			b.Fatalf("recovered %d records, want %d", len(rec.Records), tail)
+		}
+	}
+}
+
+// TestRecover100kUnder5s pins the ISSUE budget: recovering a 100k-event
+// tail from the latest checkpoint must finish in under 5 seconds.
+func TestRecover100kUnder5s(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery budget check skipped in -short")
+	}
+	const tail = 100_000
+	dir := t.TempDir()
+	buildRecoverDir(t, dir, tail)
+	start := time.Now()
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	took := time.Since(start)
+	if len(rec.Records) != tail {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), tail)
+	}
+	if took > 5*time.Second {
+		t.Fatalf("recovery of %d records took %v, budget 5s", tail, took)
+	}
+	t.Logf("recovered %d records in %v", tail, took)
+}
+
+// TestJournalBenchJSON emits append throughput per fsync policy and the
+// 100k recovery time as machine-readable JSON to the path named by the
+// JOURNAL_BENCH_JSON environment variable. Skipped when unset; CI
+// points it at BENCH_journal.json.
+func TestJournalBenchJSON(t *testing.T) {
+	path := os.Getenv("JOURNAL_BENCH_JSON")
+	if path == "" {
+		t.Skip("JOURNAL_BENCH_JSON not set")
+	}
+	type row struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+		Ops     int     `json:"ops"`
+	}
+	out := struct {
+		Benchmark string `json:"benchmark"`
+		MaxProcs  int    `json:"gomaxprocs"`
+		Rows      []row  `json:"rows"`
+	}{Benchmark: "Journal", MaxProcs: runtime.GOMAXPROCS(0)}
+	for _, pol := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncOff} {
+		pol := pol
+		r := testing.Benchmark(func(b *testing.B) { benchAppend(b, pol) })
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		out.Rows = append(out.Rows, row{
+			Name:    "JournalAppend/fsync=" + pol.String(),
+			NsPerOp: ns,
+			Ops:     r.N,
+		})
+		t.Logf("append fsync=%s: %.0f ns/op (%d ops)", pol, ns, r.N)
+	}
+	r := testing.Benchmark(func(b *testing.B) { BenchmarkRecover(b) })
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	out.Rows = append(out.Rows, row{Name: "Recover/tail=100k", NsPerOp: ns, Ops: r.N})
+	t.Logf("recover 100k tail: %.2f ms/op (%d ops)", ns/1e6, r.N)
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package faultfile wraps a journal segment file with seeded,
+// schedulable write-path fault injection — the storage-side sibling of
+// internal/protocol/faultconn. It manufactures exactly the failures a
+// write-ahead log must survive: short writes, a torn tail at an
+// arbitrary byte offset (everything past the offset silently never
+// reaches "disk", as after a kill -9 racing the page cache), flipped
+// bits, and failed fsyncs. Every probabilistic decision comes from a
+// seeded generator, so a failing schedule replays exactly.
+package faultfile
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected marks a failure manufactured by the wrapper.
+var ErrInjected = errors.New("faultfile: injected error")
+
+// Sink is the write side faultfile decorates — the same surface the
+// journal requires of its segment files.
+type Sink interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Config is a fault schedule. Zero values inject nothing, so Config{}
+// is a transparent wrapper.
+type Config struct {
+	// Seed seeds the decision stream.
+	Seed int64
+	// ShortWriteProb truncates a write to a random strict prefix,
+	// returning the short count with ErrInjected (the io.Writer
+	// contract for incomplete writes).
+	ShortWriteProb float64
+	// TornAtByte, when > 0, silently discards every byte past that
+	// cumulative offset: writes report success but the tail never lands,
+	// leaving a torn final record for recovery to cope with.
+	TornAtByte int64
+	// BitFlipProb flips one random bit of a write's payload on its way
+	// through — the frame lands with a CRC that cannot match.
+	BitFlipProb float64
+	// SyncErrProb fails a Sync call with ErrInjected.
+	SyncErrProb float64
+	// FailSyncAfter, when > 0, fails every Sync after that many
+	// successful ones — a device that degrades mid-run.
+	FailSyncAfter int
+}
+
+// File decorates a Sink with the fault schedule in Config. Safe for
+// concurrent use.
+type File struct {
+	sink Sink
+	cfg  Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	written int64
+	syncs   int
+}
+
+// Wrap decorates sink with the fault schedule cfg.
+func Wrap(sink Sink, cfg Config) *File {
+	return &File{sink: sink, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Written returns the cumulative bytes accepted (including bytes
+// silently discarded past TornAtByte, which the writer believes landed).
+func (f *File) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if f.cfg.ShortWriteProb > 0 && f.rng.Float64() < f.cfg.ShortWriteProb {
+		n := f.rng.Intn(len(p)) // strict prefix, possibly empty
+		if n > 0 {
+			if _, err := f.writeThroughLocked(p[:n]); err != nil {
+				return 0, err
+			}
+		}
+		f.written += int64(n)
+		return n, ErrInjected
+	}
+	buf := p
+	if f.cfg.BitFlipProb > 0 && f.rng.Float64() < f.cfg.BitFlipProb {
+		buf = append([]byte(nil), p...)
+		bit := f.rng.Intn(len(buf) * 8)
+		buf[bit/8] ^= 1 << (bit % 8)
+	}
+	if _, err := f.writeThroughLocked(buf); err != nil {
+		return 0, err
+	}
+	f.written += int64(len(p))
+	return len(p), nil
+}
+
+// writeThroughLocked forwards bytes to the sink, clipping everything at
+// and past the torn-tail offset.
+func (f *File) writeThroughLocked(p []byte) (int, error) {
+	if f.cfg.TornAtByte > 0 {
+		remaining := f.cfg.TornAtByte - f.written
+		if remaining <= 0 {
+			return len(p), nil // silently gone
+		}
+		if int64(len(p)) > remaining {
+			if _, err := f.sink.Write(p[:remaining]); err != nil {
+				return 0, err
+			}
+			return len(p), nil
+		}
+	}
+	return f.sink.Write(p)
+}
+
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	if f.cfg.FailSyncAfter > 0 && f.syncs > f.cfg.FailSyncAfter {
+		return ErrInjected
+	}
+	if f.cfg.SyncErrProb > 0 && f.rng.Float64() < f.cfg.SyncErrProb {
+		return ErrInjected
+	}
+	return f.sink.Sync()
+}
+
+func (f *File) Close() error { return f.sink.Close() }

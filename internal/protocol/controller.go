@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/s3wlan/s3wlan/internal/domain"
+	"github.com/s3wlan/s3wlan/internal/journal"
 	"github.com/s3wlan/s3wlan/internal/obs"
 	"github.com/s3wlan/s3wlan/internal/trace"
 	"github.com/s3wlan/s3wlan/internal/wlan"
@@ -105,6 +106,14 @@ type Controller struct {
 	// leaseSeconds is how long an agent-registered AP survives without a
 	// hello or report before it is expired (0 = leases disabled).
 	leaseSeconds int64
+
+	// Journal wiring (see journal.go): jn is nil while replaying during
+	// construction and whenever journaling is disabled, so the append
+	// hooks below are free no-ops in both cases.
+	journalDir  string
+	journalOpts journal.Options
+	jn          *journal.Journal
+	recovered   *RecoverySummary
 
 	mu          sync.Mutex
 	meta        map[trace.APID]*apMeta
@@ -212,6 +221,11 @@ func NewController(selector wlan.Selector, opts ...ControllerOption) (*Controlle
 		SessionLog: c.sessionLW,
 		ObsName:    "live",
 	})
+	if c.journalDir != "" {
+		if err := c.openJournal(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -233,6 +247,10 @@ func (c *Controller) RegisterAP(id trace.APID, capacityBps float64) error {
 		return fmt.Errorf("protocol: %v", err)
 	}
 	c.meta[id] = &apMeta{static: true}
+	c.journalAppendLocked(journal.Record{
+		Op: journal.OpRegister, TS: c.now(), AP: id,
+		CapacityBps: capacityBps, Static: true,
+	})
 	return nil
 }
 
@@ -258,6 +276,9 @@ func (c *Controller) registerAgent(conn *Conn, id trace.APID, capacityBps float6
 		m.gen++
 		m.agentConn = conn
 		obsAPRenewed.Inc()
+		c.journalAppendLocked(journal.Record{
+			Op: journal.OpRegister, TS: ts, AP: id, CapacityBps: capacityBps,
+		})
 		return m.gen, old, nil
 	}
 	if err := c.dom.AddAP(id, capacityBps); err != nil {
@@ -265,6 +286,9 @@ func (c *Controller) registerAgent(conn *Conn, id trace.APID, capacityBps float6
 	}
 	c.meta[id] = &apMeta{lastSeen: ts, gen: 1, agentConn: conn}
 	obsAPRegistered.Inc()
+	c.journalAppendLocked(journal.Record{
+		Op: journal.OpRegister, TS: ts, AP: id, CapacityBps: capacityBps,
+	})
 	return 1, nil, nil
 }
 
@@ -373,6 +397,9 @@ func (c *Controller) Close() error {
 		err = ln.Close()
 	}
 	c.wg.Wait()
+	if jerr := c.closeJournal(); jerr != nil && err == nil {
+		err = jerr
+	}
 	return err
 }
 
@@ -583,18 +610,24 @@ func (c *Controller) Associate(user trace.UserID, demandBps float64) (trace.APID
 		c.assignments[user] = ap
 		c.assignedAt[user] = ts
 		c.servedByUsr[user] = 0
-		c.logger.Printf("assoc %s -> %s (demand %.0f B/s)", user, ap, demandBps)
 		obsv := c.observer
+		if obsv != nil && c.jn != nil {
+			// Journaled: deliver in mutation order before the append, so a
+			// checkpoint triggered by this record captures the observer at
+			// exactly this sequence number.
+			c.notifyAssoc(obsv, user, ap, prevAP, hadPrev, ts)
+			obsv = nil
+		}
+		c.journalAppendLocked(journal.Record{
+			Op: journal.OpAssoc, TS: ts,
+			Placements: []journal.Placement{{User: user, AP: ap, Prev: p.Prev, DemandBps: demandBps}},
+		})
+		c.logger.Printf("assoc %s -> %s (demand %.0f B/s)", user, ap, demandBps)
 		c.mu.Unlock()
 
-		// Notify outside the lock: observers may be slow.
+		// Unjournaled: notify outside the lock — observers may be slow.
 		if obsv != nil {
-			if hadPrev {
-				if err := obsv.Disconnect(user, prevAP, ts); err != nil {
-					c.logger.Printf("observer disconnect %s: %v", user, err)
-				}
-			}
-			obsv.Connect(user, ap, ts)
+			c.notifyAssoc(obsv, user, ap, prevAP, hadPrev, ts)
 		}
 		return ap, nil
 	}
@@ -656,13 +689,9 @@ func (c *Controller) AssociateBatch(reqs []wlan.Request) (map[trace.UserID]trace
 		}
 
 		c.mu.Lock()
-		type move struct {
-			user trace.UserID
-			prev trace.APID
-		}
 		var (
 			ps      []domain.Placement
-			moves   []move
+			moves   []assocMove
 			rest    []wlan.Request // duplicates and unplaced users
 			claimed = make(map[trace.UserID]bool, len(batchReqs))
 		)
@@ -676,7 +705,7 @@ func (c *Controller) AssociateBatch(reqs []wlan.Request) (map[trace.UserID]trace
 			p := domain.Placement{User: r.User, AP: ap, DemandBps: r.DemandBps}
 			if prev, had := c.assignments[r.User]; had {
 				p.Prev = prev
-				moves = append(moves, move{user: r.User, prev: prev})
+				moves = append(moves, assocMove{user: r.User, prev: prev})
 			}
 			ps = append(ps, p)
 		}
@@ -700,25 +729,30 @@ func (c *Controller) AssociateBatch(reqs []wlan.Request) (map[trace.UserID]trace
 			c.sessionRecordLocked(mv.user, mv.prev, ts)
 			obsAssocMoves.Inc()
 		}
-		for _, p := range ps {
+		jps := make([]journal.Placement, len(ps))
+		for i, p := range ps {
 			c.assignments[p.User] = p.AP
 			c.assignedAt[p.User] = ts
 			c.servedByUsr[p.User] = 0
 			out[p.User] = p.AP
+			jps[i] = journal.Placement{User: p.User, AP: p.AP, Prev: p.Prev, DemandBps: p.DemandBps}
 			c.logger.Printf("assoc %s -> %s (demand %.0f B/s, batch)", p.User, p.AP, p.DemandBps)
 		}
 		obsv := c.observer
+		if obsv != nil && c.jn != nil {
+			// Journaled: deliver before the append so a checkpoint
+			// triggered by this record includes these events (see
+			// Associate).
+			c.notifyBatch(obsv, moves, ps, ts)
+			obsv = nil
+		}
+		if len(jps) > 0 {
+			c.journalAppendLocked(journal.Record{Op: journal.OpAssoc, TS: ts, Placements: jps})
+		}
 		c.mu.Unlock()
 
 		if obsv != nil {
-			for _, mv := range moves {
-				if err := obsv.Disconnect(mv.user, mv.prev, ts); err != nil {
-					c.logger.Printf("observer disconnect %s: %v", mv.user, err)
-				}
-			}
-			for _, p := range ps {
-				obsv.Connect(p.User, p.AP, ts)
-			}
+			c.notifyBatch(obsv, moves, ps, ts)
 		}
 
 		for _, r := range rest {
@@ -742,17 +776,21 @@ func (c *Controller) disassociate(user trace.UserID) {
 	}
 	delete(c.assignments, user)
 	c.dom.LeaveAll(user, ap)
-	c.logger.Printf("disassoc %s from %s", user, ap)
 	c.sessionRecordLocked(user, ap, ts)
+	obsv := c.observer
+	if obsv != nil && c.jn != nil {
+		// Journaled: deliver before the append (see Associate).
+		c.notifyDisconnect(obsv, user, ap, ts)
+		obsv = nil
+	}
+	c.journalAppendLocked(journal.Record{Op: journal.OpDisassoc, TS: ts, User: user, AP: ap})
+	c.logger.Printf("disassoc %s from %s", user, ap)
 	delete(c.assignedAt, user)
 	delete(c.servedByUsr, user)
-	obsv := c.observer
 	c.mu.Unlock()
 
 	if obsv != nil {
-		if err := obsv.Disconnect(user, ap, ts); err != nil {
-			c.logger.Printf("observer disconnect %s: %v", user, err)
-		}
+		c.notifyDisconnect(obsv, user, ap, ts)
 	}
 }
 
@@ -789,6 +827,7 @@ func (c *Controller) expireLocked(ts int64) ([]lifecycleEvent, []*Conn) {
 	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
 	var evs []lifecycleEvent
 	var conns []*Conn
+	inline := c.jn != nil && c.observer != nil
 	for _, id := range expired {
 		m := c.meta[id]
 		evicted, _ := c.dom.RemoveAP(id)
@@ -797,8 +836,14 @@ func (c *Controller) expireLocked(ts int64) ([]lifecycleEvent, []*Conn) {
 			c.sessionRecordLocked(ev.User, id, ts)
 			delete(c.assignedAt, ev.User)
 			delete(c.servedByUsr, ev.User)
-			evs = append(evs, lifecycleEvent{user: ev.User, ap: id, ts: ts})
+			if inline {
+				// Journaled: deliver before the append (see Associate).
+				c.notifyDisconnect(c.observer, ev.User, id, ts)
+			} else {
+				evs = append(evs, lifecycleEvent{user: ev.User, ap: id, ts: ts})
+			}
 		}
+		c.journalAppendLocked(journal.Record{Op: journal.OpExpire, TS: ts, AP: id})
 		if m.agentConn != nil {
 			conns = append(conns, m.agentConn)
 		}
@@ -808,6 +853,42 @@ func (c *Controller) expireLocked(ts int64) ([]lifecycleEvent, []*Conn) {
 		obsLeaseExpired.Inc()
 	}
 	return evs, conns
+}
+
+// assocMove records a re-association's previous AP for observer and
+// session bookkeeping.
+type assocMove struct {
+	user trace.UserID
+	prev trace.APID
+}
+
+// notifyAssoc delivers one association's observer events: the
+// disconnect from the previous AP on a move, then the connect.
+func (c *Controller) notifyAssoc(obsv AssociationObserver,
+	user trace.UserID, ap, prev trace.APID, moved bool, ts int64) {
+	if moved {
+		c.notifyDisconnect(obsv, user, prev, ts)
+	}
+	obsv.Connect(user, ap, ts)
+}
+
+// notifyBatch delivers a batch commit's observer events: every move's
+// disconnect, then every placement's connect.
+func (c *Controller) notifyBatch(obsv AssociationObserver,
+	moves []assocMove, ps []domain.Placement, ts int64) {
+	for _, mv := range moves {
+		c.notifyDisconnect(obsv, mv.user, mv.prev, ts)
+	}
+	for _, p := range ps {
+		obsv.Connect(p.User, p.AP, ts)
+	}
+}
+
+func (c *Controller) notifyDisconnect(obsv AssociationObserver,
+	user trace.UserID, ap trace.APID, ts int64) {
+	if err := obsv.Disconnect(user, ap, ts); err != nil {
+		c.logger.Printf("observer disconnect %s: %v", user, err)
+	}
 }
 
 // emitLifecycle closes superseded connections and delivers deferred

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/s3wlan/s3wlan/internal/baseline"
+	"github.com/s3wlan/s3wlan/internal/journal"
 	"github.com/s3wlan/s3wlan/internal/protocol/faultconn"
 	"github.com/s3wlan/s3wlan/internal/trace"
 	"github.com/s3wlan/s3wlan/internal/wlan"
@@ -178,6 +179,88 @@ func TestLeaseExpiryRemovesSilentAP(t *testing.T) {
 	if s.User != "mobile-user" || s.AP != "ap1" || s.Bytes != 2048 ||
 		s.ConnectAt != 100 || s.DisconnectAt != 200 {
 		t.Errorf("expiry session = %+v", s)
+	}
+}
+
+// TestLeaseExpiredWhileDownRehomesOnRestart covers the recovery edge
+// the journal must get right: an agent-backed AP's lease runs out while
+// the controller is down. The restarted controller restores the AP and
+// its believed user from the journal, then the first sweep notices the
+// stale lease and re-homes the user through the observer — exactly as a
+// live expiry would — and logs the completed session with the connect
+// time restored from the checkpoint.
+func TestLeaseExpiredWhileDownRehomesOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	var fake atomic.Int64
+	fake.Store(100)
+	a, err := NewController(baseline.LLF{},
+		WithTimeout(testTimeout),
+		WithLease(10),
+		WithClock(fake.Load),
+		WithJournal(dir, journal.Options{Fsync: journal.FsyncAlways}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := DialAP(addr, "ap1", 1e6, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := DialStation(addr, "mobile-user", testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap, err := st.Associate(100); err != nil || ap != "ap1" {
+		t.Fatalf("associate = %q, %v", ap, err)
+	}
+	// Crash: controller a is abandoned with both connections still up —
+	// a graceful close would disassociate the station. With FsyncAlways
+	// the registration (lastSeen=100) and association are already
+	// durable. The agent never comes back; the lease lapses while the
+	// controller is down.
+	_, _ = agent, st
+	fake.Store(200)
+
+	obsRec := newRecordingObserver()
+	var logBuf syncBuffer
+	b, err := NewController(baseline.LLF{},
+		WithTimeout(testTimeout),
+		WithLease(10),
+		WithClock(fake.Load),
+		WithObserver(obsRec),
+		WithSessionLog(&logBuf),
+		WithJournal(dir, journal.Options{Fsync: journal.FsyncAlways}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rec := b.Recovery()
+	if rec == nil || rec.APs != 1 || rec.Assignments != 1 || rec.ReplayErrors != 0 {
+		t.Fatalf("recovery = %+v, want the AP and its user restored", rec)
+	}
+
+	// The first sweep must expire the AP and re-home the user.
+	if snap := b.Snapshot(); len(snap) != 0 {
+		t.Fatalf("expired AP survived the restart sweep: %+v", snap)
+	}
+	if ap, ok := obsRec.disconnectedFrom("mobile-user"); !ok || ap != "ap1" {
+		t.Errorf("observer disconnect = %q, %v; want ap1 re-homing", ap, ok)
+	}
+	tr, err := trace.ReadJSONLines(strings.NewReader(logBuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sessions) != 1 {
+		t.Fatalf("sessions = %d, want 1", len(tr.Sessions))
+	}
+	if s := tr.Sessions[0]; s.User != "mobile-user" || s.AP != "ap1" ||
+		s.ConnectAt != 100 || s.DisconnectAt != 200 {
+		t.Errorf("expiry session = %+v, want connect 100 / disconnect 200", s)
 	}
 }
 

@@ -195,6 +195,17 @@ func (e *Engine) SetTypes(types map[trace.UserID]int, matrix [][]float64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.learner.SetTypes(types, matrix)
+	e.setTypesLocked(types, matrix)
+	e.allDirty = true
+	e.bumpLocked()
+}
+
+// setTypesLocked installs a type assignment on the engine side: private
+// copies of the maps plus the prior-crossing index consulted when a
+// type pair's α·T alone crosses the edge threshold. It does not touch
+// the learner, the dirty flag or the event counter — SetTypes and the
+// checkpoint-restore path layer those differently.
+func (e *Engine) setTypesLocked(types map[trace.UserID]int, matrix [][]float64) {
 	e.types = make(map[trace.UserID]int, len(types))
 	for u, t := range types {
 		e.types[u] = t
@@ -223,8 +234,6 @@ func (e *Engine) SetTypes(types map[trace.UserID]int, matrix [][]float64) {
 			e.byType[t] = append(e.byType[t], u)
 		}
 	}
-	e.allDirty = true
-	e.bumpLocked()
 }
 
 // Learner exposes the underlying online learner (raw tallies,

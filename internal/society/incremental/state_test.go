@@ -1,0 +1,155 @@
+package incremental
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/socialgraph"
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// driveEngine pushes a deterministic Connect/Disconnect mix through an
+// engine — the same shape the controller's observer hook produces.
+func driveEngine(e *Engine, events int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	aps := []trace.APID{"ap-0", "ap-1", "ap-2", "ap-3"}
+	on := make(map[trace.UserID]trace.APID)
+	ts := int64(5000)
+	for i := 0; i < events; i++ {
+		ts += int64(rng.Intn(40))
+		u := trace.UserID(fmt.Sprintf("u-%02d", rng.Intn(16)))
+		if ap, ok := on[u]; ok && rng.Float64() < 0.5 {
+			e.Disconnect(u, ap, ts)
+			delete(on, u)
+			continue
+		}
+		ap := aps[rng.Intn(len(aps))]
+		if prev, ok := on[u]; ok {
+			e.Disconnect(u, prev, ts)
+		}
+		e.Connect(u, ap, ts)
+		on[u] = ap
+	}
+}
+
+// graphsEqual compares two θ-graphs vertex-for-vertex and
+// edge-for-edge, including weights.
+func graphsEqual(a, b *socialgraph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	equal := true
+	a.ForEachEdge(func(u, v trace.UserID, w float64) {
+		if bw, ok := b.Weight(u, v); !ok || bw != w {
+			equal = false
+		}
+	})
+	return equal
+}
+
+// snapshotsEquivalent asserts every published layer matches: pair
+// probabilities, the θ-graph, and the canonical clique cover.
+func snapshotsEquivalent(t *testing.T, tag string, a, b *Snapshot) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Model().PairProb, b.Model().PairProb) {
+		t.Fatalf("%s: pair probabilities diverged", tag)
+	}
+	if !graphsEqual(a.Graph(), b.Graph()) {
+		t.Fatalf("%s: θ-graphs diverged", tag)
+	}
+	if !reflect.DeepEqual(a.Cover(), b.Cover()) {
+		t.Fatalf("%s: clique covers diverged\na: %v\nb: %v", tag, a.Cover(), b.Cover())
+	}
+}
+
+// testStateConfig mirrors the equivalence suite: short windows so a
+// few hundred random events actually produce encounters, co-leaves and
+// threshold crossings.
+func testStateConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RefreshEvents = 0
+	cfg.Society.MinEncounterSeconds = 200
+	cfg.Society.CoLeaveWindowSeconds = 150
+	cfg.Society.MinEncounters = 2
+	return cfg
+}
+
+// TestEngineStateRoundtrip: a restored engine must publish the same
+// social state as the original — and keep agreeing when both see the
+// same future events, proving mid-presence learner state survived.
+func TestEngineStateRoundtrip(t *testing.T) {
+	cfg := testStateConfig()
+	orig := New(cfg)
+	driveEngine(orig, 600, 21)
+	orig.Refresh()
+
+	var buf bytes.Buffer
+	if err := orig.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(cfg)
+	if err := restored.ReadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	snapshotsEquivalent(t, "post-restore", orig.Snapshot(), restored.Snapshot())
+
+	// Same future → same published state.
+	driveEngine(orig, 400, 22)
+	driveEngine(restored, 400, 22)
+	orig.Refresh()
+	restored.Refresh()
+	snapshotsEquivalent(t, "post-restore future", orig.Snapshot(), restored.Snapshot())
+}
+
+// TestEngineStateRoundtripWithTypes: the α·T prior layer must survive
+// too — restore without a separate SetTypes call.
+func TestEngineStateRoundtripWithTypes(t *testing.T) {
+	cfg := testStateConfig()
+	orig := New(cfg)
+	driveEngine(orig, 300, 31)
+	types := make(map[trace.UserID]int)
+	for i := 0; i < 16; i++ {
+		types[trace.UserID(fmt.Sprintf("u-%02d", i))] = i % 3
+	}
+	matrix := [][]float64{{0.9, 0.2, 0.1}, {0.2, 0.8, 0.3}, {0.1, 0.3, 0.7}}
+	orig.SetTypes(types, matrix)
+	driveEngine(orig, 300, 32)
+	orig.Refresh()
+
+	var buf bytes.Buffer
+	if err := orig.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(cfg)
+	if err := restored.ReadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEquivalent(t, "typed restore", orig.Snapshot(), restored.Snapshot())
+	om, rm := orig.Snapshot().Model(), restored.Snapshot().Model()
+	if !reflect.DeepEqual(om.Types, rm.Types) || !reflect.DeepEqual(om.TypeMatrix, rm.TypeMatrix) {
+		t.Fatal("type assignment did not round-trip")
+	}
+
+	driveEngine(orig, 200, 33)
+	driveEngine(restored, 200, 33)
+	orig.Refresh()
+	restored.Refresh()
+	snapshotsEquivalent(t, "typed restore future", orig.Snapshot(), restored.Snapshot())
+}
+
+func TestEngineReadStateRejectsDamage(t *testing.T) {
+	e := New(DefaultConfig())
+	if err := e.ReadState(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if err := e.ReadState(bytes.NewReader([]byte(`{"version":7}`))); err == nil {
+		t.Fatal("expected version error")
+	}
+	if err := e.ReadState(bytes.NewReader([]byte(`{"version":1,"learner":{"version":9}}`))); err == nil {
+		t.Fatal("expected nested learner version error")
+	}
+}

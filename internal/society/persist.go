@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 
+	"github.com/s3wlan/s3wlan/internal/atomicfile"
 	"github.com/s3wlan/s3wlan/internal/trace"
 )
 
@@ -122,18 +123,16 @@ func ReadModel(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
-// SaveModel writes the model to path.
-func SaveModel(path string, m *Model) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("society: create %s: %w", path, err)
+// SaveModel writes the model to path. The write is atomic (temp file +
+// fsync + rename): a crash mid-save leaves any previous model at path
+// intact, never a truncated one.
+func SaveModel(path string, m *Model) error {
+	if err := atomicfile.WriteFile(path, func(w io.Writer) error {
+		return WriteModel(w, m)
+	}); err != nil {
+		return fmt.Errorf("society: save %s: %w", path, err)
 	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-	return WriteModel(f, m)
+	return nil
 }
 
 // LoadModel reads a model from path.

@@ -1,0 +1,107 @@
+package society
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// driveLearner pushes a deterministic event mix through a learner:
+// overlapping presences, co-leavings, repeat visits — enough to populate
+// open sessions, recent-leave windows and both tally maps.
+func driveLearner(l *OnlineLearner, events int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	aps := []trace.APID{"ap-0", "ap-1", "ap-2"}
+	on := make(map[trace.UserID]trace.APID)
+	ts := int64(1000)
+	for i := 0; i < events; i++ {
+		ts += int64(rng.Intn(30))
+		u := trace.UserID(fmt.Sprintf("u-%02d", rng.Intn(12)))
+		if ap, ok := on[u]; ok && rng.Float64() < 0.5 {
+			l.Disconnect(u, ap, ts)
+			delete(on, u)
+			continue
+		}
+		ap := aps[rng.Intn(len(aps))]
+		if prev, ok := on[u]; ok {
+			l.Disconnect(u, prev, ts)
+		}
+		l.Connect(u, ap, ts)
+		on[u] = ap
+	}
+}
+
+// TestLearnerStateRoundtrip: a restored learner must be behaviorally
+// identical — same model now, and same model after both copies see the
+// same future events (open presences and leave windows must survive).
+func TestLearnerStateRoundtrip(t *testing.T) {
+	cfg := DefaultConfig()
+	orig := NewOnlineLearner(cfg)
+	driveLearner(orig, 300, 1)
+
+	var buf bytes.Buffer
+	if err := orig.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadLearnerState(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(orig.Model().PairProb, restored.Model().PairProb) {
+		t.Fatal("restored model diverged from original")
+	}
+	oo, op, oc := orig.Stats()
+	ro, rp, rc := restored.Stats()
+	if oo != ro || op != rp || oc != rc {
+		t.Fatalf("stats diverged: orig (%d,%d,%d) restored (%d,%d,%d)", oo, op, oc, ro, rp, rc)
+	}
+	if !reflect.DeepEqual(orig.Pairs(), restored.Pairs()) {
+		t.Fatal("pair sets diverged")
+	}
+
+	// Same future → same model: the mid-presence state round-tripped.
+	driveLearner(orig, 200, 2)
+	driveLearner(restored, 200, 2)
+	if !reflect.DeepEqual(orig.Model().PairProb, restored.Model().PairProb) {
+		t.Fatal("models diverged after identical post-restore events")
+	}
+}
+
+func TestLearnerStateRoundtripWithTypes(t *testing.T) {
+	cfg := DefaultConfig()
+	orig := NewOnlineLearner(cfg)
+	types := map[trace.UserID]int{"u-00": 0, "u-01": 1}
+	matrix := [][]float64{{0.9, 0.1}, {0.1, 0.8}}
+	orig.SetTypes(types, matrix)
+	driveLearner(orig, 100, 3)
+
+	var buf bytes.Buffer
+	if err := orig.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadLearnerState(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, rm := orig.Model(), restored.Model()
+	if !reflect.DeepEqual(om.Types, rm.Types) || !reflect.DeepEqual(om.TypeMatrix, rm.TypeMatrix) {
+		t.Fatal("type assignment did not round-trip")
+	}
+}
+
+func TestReadLearnerStateRejectsDamage(t *testing.T) {
+	if _, err := ReadLearnerState(bytes.NewReader([]byte("not json")), DefaultConfig()); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := ReadLearnerState(bytes.NewReader([]byte(`{"version":42}`)), DefaultConfig()); err == nil {
+		t.Fatal("expected version error")
+	}
+	if _, err := ReadLearnerState(bytes.NewReader([]byte(`{"version":1,"encounters":{"bogus":3}}`)), DefaultConfig()); err == nil {
+		t.Fatal("expected pair-key error")
+	}
+}

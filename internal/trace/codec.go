@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"strconv"
+
+	"github.com/s3wlan/s3wlan/internal/atomicfile"
 )
 
 // This file provides two interchangeable codecs for traces:
@@ -91,18 +93,16 @@ func ReadJSONLines(r io.Reader) (*Trace, error) {
 	return tr, nil
 }
 
-// SaveFile writes the trace to path in JSON-lines format.
-func SaveFile(path string, tr *Trace) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("trace: create %s: %w", path, err)
+// SaveFile writes the trace to path in JSON-lines format. The write is
+// atomic (temp file + fsync + rename): a crash mid-save leaves any
+// previous file at path intact, never a truncated trace.
+func SaveFile(path string, tr *Trace) error {
+	if err := atomicfile.WriteFile(path, func(w io.Writer) error {
+		return WriteJSONLines(w, tr)
+	}); err != nil {
+		return fmt.Errorf("trace: save %s: %w", path, err)
 	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("trace: close %s: %w", path, cerr)
-		}
-	}()
-	return WriteJSONLines(f, tr)
+	return nil
 }
 
 // LoadFile reads a JSON-lines trace from path.
