@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench experiments analyses ablations clean
+.PHONY: all build vet test race chaos flight-smoke bench experiments analyses ablations clean
 
 all: build vet test
 
@@ -22,6 +22,14 @@ race:
 CHAOS_DUR ?= 5s
 chaos:
 	$(GO) run ./cmd/s3proto -chaos -chaos-dur $(CHAOS_DUR) -policy llf
+
+# Record a chaos soak into a flight ring, then decode and health-check it.
+FLIGHT_DIR ?= /tmp/s3flight
+flight-smoke:
+	rm -rf $(FLIGHT_DIR)
+	$(GO) run ./cmd/s3proto -chaos -chaos-dur $(CHAOS_DUR) -flight-dir $(FLIGHT_DIR) -flight-every 100ms
+	$(GO) run ./cmd/s3diag -dir $(FLIGHT_DIR) -check
+	$(GO) run ./cmd/s3diag -dir $(FLIGHT_DIR) -format summary -match protocol.
 
 # One benchmark per paper table/figure plus module micro-benchmarks.
 bench:

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/s3wlan/s3wlan/internal/journal"
+	"github.com/s3wlan/s3wlan/internal/obs"
+	"github.com/s3wlan/s3wlan/internal/obs/flight"
+)
+
+// writeRing hand-crafts a ring with controlled timestamps (1s apart): a
+// counter climbing 0→3 and a gauge descending 10→7, five samples.
+func writeRing(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	frames := [][]byte{
+		[]byte(`{"t":1000,"full":true,"v":{"diag.count":0,"diag.gauge":10},"k":{"diag.count":"c","diag.gauge":"g"}}`),
+		[]byte(`{"t":2000,"v":{"diag.count":1,"diag.gauge":-1}}`),
+		[]byte(`{"t":3000,"v":{"diag.count":1,"diag.gauge":-1}}`),
+		[]byte(`{"t":4000,"v":{"diag.count":1,"diag.gauge":-1}}`),
+		[]byte(`{"t":5000,"v":{}}`),
+	}
+	var raw []byte
+	for _, f := range frames {
+		raw = append(raw, journal.EncodeFrame(f)...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "flight-0000000001.fr"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// recordRing produces a ring through the real recorder (timestamps are
+// wall-clock, so only decode-level properties are asserted on it).
+func recordRing(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	reg := &obs.Registry{}
+	c := reg.GetCounter("diag.count", "test counter")
+	rec, err := flight.Start(flight.Options{Dir: dir, Registry: reg, Every: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		c.Inc()
+		rec.Sample()
+	}
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestSummary(t *testing.T) {
+	dir := writeRing(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-dir", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"flight ring:", "diag.count", "diag.gauge", "cum", "gauge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVAndMatch(t *testing.T) {
+	dir := writeRing(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-dir", dir, "-format", "csv", "-match", "diag.count"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "unix_ms,column,value" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	// 5 samples (initial full + 3 + stop), one matching column each.
+	if len(lines) != 6 {
+		t.Fatalf("csv rows = %d, want 6:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasSuffix(lines[len(lines)-1], ",diag.count,3") {
+		t.Errorf("last row = %q, want final value 3", lines[len(lines)-1])
+	}
+	for _, ln := range lines[1:] {
+		if strings.Contains(ln, "diag.gauge") {
+			t.Errorf("-match leaked other column: %q", ln)
+		}
+	}
+}
+
+func TestJSON(t *testing.T) {
+	dir := writeRing(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-dir", dir, "-format", "json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var samples []struct {
+		UnixMS int64            `json:"unix_ms"`
+		Values map[string]int64 `json:"values"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &samples); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(samples) != 5 {
+		t.Fatalf("samples = %d, want 5", len(samples))
+	}
+	last := samples[len(samples)-1]
+	if last.Values["diag.count"] != 3 || last.Values["diag.gauge"] != 7 {
+		t.Errorf("final values = %v", last.Values)
+	}
+}
+
+func TestRates(t *testing.T) {
+	dir := writeRing(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-dir", dir, "-format", "rates", "-window", "2s"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "window_start_ms,column,rate_per_s" {
+		t.Fatalf("rates header = %q", lines[0])
+	}
+	found := false
+	for _, ln := range lines[1:] {
+		if strings.Contains(ln, "diag.gauge") {
+			t.Errorf("rates emitted for a gauge: %q", ln)
+		}
+		if strings.Contains(ln, "diag.count") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no rate rows for diag.count:\n%s", buf.String())
+	}
+}
+
+func TestCheckOK(t *testing.T) {
+	dir := recordRing(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-dir", dir, "-check"}, &buf); err != nil {
+		t.Fatalf("check on a clean ring: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "check ok:") {
+		t.Errorf("check output = %q", buf.String())
+	}
+}
+
+// TestCheckCatchesRegression hand-crafts a ring whose cumulative column
+// decreases without a full-snapshot boundary; -check must fail.
+func TestCheckCatchesRegression(t *testing.T) {
+	dir := t.TempDir()
+	frames := [][]byte{
+		[]byte(`{"t":1000,"full":true,"v":{"bad.count":10},"k":{"bad.count":"c"}}`),
+		[]byte(`{"t":2000,"v":{"bad.count":-5}}`),
+	}
+	var raw []byte
+	for _, f := range frames {
+		raw = append(raw, journal.EncodeFrame(f)...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "flight-0000000001.fr"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-dir", dir, "-check"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "monotonicity") {
+		t.Fatalf("check err = %v, want monotonicity violation\n%s", err, buf.String())
+	}
+}
+
+func TestEmptyRingFails(t *testing.T) {
+	if err := run([]string{"-dir", t.TempDir()}, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty ring must be an error")
+	}
+}
+
+func TestPositionalDir(t *testing.T) {
+	dir := recordRing(t)
+	var buf bytes.Buffer
+	if err := run([]string{dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "diag.count") {
+		t.Errorf("positional dir output:\n%s", buf.String())
+	}
+}

@@ -13,12 +13,21 @@
 //	s3proto -journal /var/lib/s3/journal           # crash-safe state
 //	s3proto -drive 127.0.0.1:7788 -drive-hold 30s  # load a running controller
 //	s3proto -journal dir -recover-check 8          # assert recovery (CI)
+//	s3proto -pprof localhost:6060                  # pprof + Prometheus /metrics
+//	s3proto -flight-dir /var/lib/s3/flight         # always-on flight recorder
 //
 // With -journal the controller appends every domain mutation to a
 // write-ahead journal (internal/journal) and checkpoints its full state
 // every -checkpoint-every records; restarted with the same directory it
 // resumes with believed loads, assignments and the θ-graph intact. The
 // -fsync flag picks the durability/throughput trade-off.
+//
+// With -pprof the debug HTTP server also serves /metrics in Prometheus
+// text format (every internal/obs counter, gauge and histogram). With
+// -flight-dir a background flight recorder (internal/obs/flight)
+// delta-encodes periodic snapshots of the whole metric registry into a
+// bounded on-disk ring that survives kill -9; decode it with s3diag.
+// See docs/OBSERVABILITY.md for the full metric catalog.
 //
 // The s3-live policy runs the incremental social-state engine
 // (internal/society/incremental) in the control loop: the controller's
@@ -49,6 +58,7 @@ import (
 	"github.com/s3wlan/s3wlan/internal/core"
 	"github.com/s3wlan/s3wlan/internal/journal"
 	"github.com/s3wlan/s3wlan/internal/obs"
+	"github.com/s3wlan/s3wlan/internal/obs/flight"
 	"github.com/s3wlan/s3wlan/internal/protocol"
 	"github.com/s3wlan/s3wlan/internal/protocol/faultconn"
 	"github.com/s3wlan/s3wlan/internal/society"
@@ -65,7 +75,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("s3proto", flag.ContinueOnError)
 	var (
 		listen   = fs.String("listen", "127.0.0.1:0", "controller listen address")
@@ -81,6 +91,11 @@ func run(args []string, out io.Writer) error {
 		shards   = fs.Int("shards", 0, "association-domain shards (<=1 = one lock domain; decisions are shard-count independent)")
 		verbose  = fs.Bool("v", false, "log controller decisions")
 
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060)")
+		flightDir   = fs.String("flight-dir", "", "flight-recorder ring directory (empty = off); decode with s3diag")
+		flightEvery = fs.Duration("flight-every", time.Second, "flight recorder sampling period")
+		flightMax   = fs.Int64("flight-max-bytes", flight.DefaultMaxBytes, "flight ring disk budget in bytes")
+
 		journalDir = fs.String("journal", "", "write-ahead journal directory (empty = no durability)")
 		fsyncMode  = fs.String("fsync", "always", "journal fsync policy: always, interval or off")
 		ckptEvery  = fs.Int("checkpoint-every", 1024, "journal: checkpoint and rotate after this many records (0 = never)")
@@ -93,6 +108,33 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Observability first, so every mode — server, chaos, demo, drive —
+	// carries the pprof+/metrics surface and the flight recorder.
+	stopProfiling, err := obs.StartProfiling(obs.ProfileConfig{HTTPAddr: *pprofAddr})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiling(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+	if *flightDir != "" {
+		rec, ferr := flight.Start(flight.Options{
+			Dir:      *flightDir,
+			Every:    *flightEvery,
+			MaxBytes: *flightMax,
+		})
+		if ferr != nil {
+			return ferr
+		}
+		defer func() {
+			if serr := rec.Stop(); serr != nil && err == nil {
+				err = serr
+			}
+		}()
 	}
 
 	if *driveAddr != "" {

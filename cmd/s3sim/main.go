@@ -10,6 +10,7 @@
 //	s3sim -trace campus.jsonl -train 28 -all
 //	s3sim -generate -ablation staleness -workers 8 -progress
 //	s3sim -generate -all -cpuprofile cpu.prof -obs obs.json
+//	s3sim -generate -all -flight-dir flight/   # ring for s3diag post-mortems
 package main
 
 import (
@@ -19,9 +20,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"github.com/s3wlan/s3wlan/internal/experiments"
 	"github.com/s3wlan/s3wlan/internal/obs"
+	"github.com/s3wlan/s3wlan/internal/obs/flight"
 	"github.com/s3wlan/s3wlan/internal/runner"
 	"github.com/s3wlan/s3wlan/internal/synth"
 	"github.com/s3wlan/s3wlan/internal/trace"
@@ -73,8 +76,12 @@ func run(args []string, out io.Writer) (err error) {
 		progress   = fs.Bool("progress", false, "report per-cell progress to stderr")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
-		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060)")
 		obsPath    = fs.String("obs", "", `write observability counters/timers as JSON to this file ("-" = stdout)`)
+
+		flightDir   = fs.String("flight-dir", "", "flight-recorder ring directory (empty = off); decode with s3diag")
+		flightEvery = fs.Duration("flight-every", time.Second, "flight recorder sampling period")
+		flightMax   = fs.Int64("flight-max-bytes", flight.DefaultMaxBytes, "flight ring disk budget in bytes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +106,21 @@ func run(args []string, out io.Writer) (err error) {
 			}
 		}
 	}()
+	if *flightDir != "" {
+		rec, ferr := flight.Start(flight.Options{
+			Dir:      *flightDir,
+			Every:    *flightEvery,
+			MaxBytes: *flightMax,
+		})
+		if ferr != nil {
+			return ferr
+		}
+		defer func() {
+			if serr := rec.Stop(); serr != nil && err == nil {
+				err = serr
+			}
+		}()
+	}
 
 	var progressW io.Writer
 	if *progress {

@@ -1,0 +1,54 @@
+package s3wlan_test
+
+// Link check: every relative markdown link in the user-facing docs must
+// point at a file or directory that exists in the repository, so docs
+// renames can't silently orphan references.
+
+import (
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var docFiles = []string{
+	"README.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"docs/ARCHITECTURE.md",
+	"docs/OBSERVABILITY.md",
+}
+
+// mdLink matches inline links [text](target), skipping images by
+// requiring the match not be preceded by "!" (checked in code).
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func TestDocLinksResolve(t *testing.T) {
+	for _, doc := range docFiles {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("doc %s listed in docFiles but unreadable: %v", doc, err)
+			continue
+		}
+		text := string(raw)
+		for _, m := range mdLink.FindAllStringSubmatchIndex(text, -1) {
+			target := text[m[2]:m[3]]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked offline
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue // intra-document anchor
+			}
+			if unescaped, err := url.PathUnescape(target); err == nil {
+				target = unescaped
+			}
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q but %s does not exist", doc, target, resolved)
+			}
+		}
+	}
+}

@@ -18,14 +18,14 @@ import (
 // always on; the histogram is observed once per batch placement, not
 // per candidate, so the beam search itself stays allocation-free.
 var (
-	obsSelects       = obs.GetCounter("core.select.calls")
-	obsGuardFallback = obs.GetCounter("core.select.guard_fallbacks")
-	obsBatches       = obs.GetCounter("core.batch.calls")
-	obsBatchUsers    = obs.GetCounter("core.batch.users")
-	obsCliques       = obs.GetCounter("core.batch.cliques")
-	obsBeamCands     = obs.GetCounter("core.beam.candidates")
-	obsExhaustive    = obs.GetCounter("core.beam.exhaustive_cliques")
-	obsBatchTime     = obs.GetHistogram("core.batch.place")
+	obsSelects       = obs.GetCounter("core.select.calls", "Single-user Select invocations of the S³ policy")
+	obsGuardFallback = obs.GetCounter("core.select.guard_fallbacks", "Selections where the balance guard overrode the social choice")
+	obsBatches       = obs.GetCounter("core.batch.calls", "Group placements via Algorithm 1 (PlaceBatch invocations)")
+	obsBatchUsers    = obs.GetCounter("core.batch.users", "Users placed through batch placements")
+	obsCliques       = obs.GetCounter("core.batch.cliques", "Cliques extracted across batch placements")
+	obsBeamCands     = obs.GetCounter("core.beam.candidates", "Candidate distributions scored by the beam search")
+	obsExhaustive    = obs.GetCounter("core.beam.exhaustive_cliques", "Cliques small enough for exhaustive distribution enumeration")
+	obsBatchTime     = obs.GetHistogram("core.batch.place", "Latency of one batch placement (Algorithm 1)")
 )
 
 // SocialIndex supplies the social relation index θ(u,v) between two users.

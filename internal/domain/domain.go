@@ -18,13 +18,13 @@ import (
 // simulated); per-shard gauges are registered only for named domains
 // (Config.ObsName) so parallel experiment cells do not fight over them.
 var (
-	obsCommitSingle = obs.GetCounter("domain.commit.single_shard")
-	obsCommitMulti  = obs.GetCounter("domain.commit.multi_shard")
-	obsCommitStale  = obs.GetCounter("domain.commit.stale")
-	obsCommitForced = obs.GetCounter("domain.commit.forced")
-	obsOverloads    = obs.GetCounter("domain.overloads")
-	obsEvictions    = obs.GetCounter("domain.evictions")
-	obsViews        = obs.GetCounter("domain.views")
+	obsCommitSingle = obs.GetCounter("domain.commit.single_shard", "Placement commits on the single-shard fast path")
+	obsCommitMulti  = obs.GetCounter("domain.commit.multi_shard", "Placement commits through the two-phase multi-shard path")
+	obsCommitStale  = obs.GetCounter("domain.commit.stale", "Commits rejected because the shard version moved (caller retries)")
+	obsCommitForced = obs.GetCounter("domain.commit.forced", "Commits applied after exhausting stale retries")
+	obsOverloads    = obs.GetCounter("domain.overloads", "Placements admitted beyond AP capacity (admission override)")
+	obsEvictions    = obs.GetCounter("domain.evictions", "APs removed (failures, lease expiries)")
+	obsViews        = obs.GetCounter("domain.views", "APView snapshots taken")
 )
 
 // Sentinel errors returned by Commit.
@@ -239,8 +239,10 @@ func New(cfg Config) *Domain {
 	for i := range d.shards {
 		sh := &shard{aps: make(map[trace.APID]*apState)}
 		if cfg.ObsName != "" {
-			sh.gaugeAPs = obs.GetGauge(fmt.Sprintf("domain.%s.shard%02d.aps", cfg.ObsName, i))
-			sh.gaugeUsers = obs.GetGauge(fmt.Sprintf("domain.%s.shard%02d.users", cfg.ObsName, i))
+			sh.gaugeAPs = obs.GetGauge(fmt.Sprintf("domain.%s.shard%02d.aps", cfg.ObsName, i),
+				"Registered APs on one domain shard")
+			sh.gaugeUsers = obs.GetGauge(fmt.Sprintf("domain.%s.shard%02d.users", cfg.ObsName, i),
+				"Associated users on one domain shard")
 		}
 		d.shards[i] = sh
 	}

@@ -17,8 +17,8 @@ import (
 // Event counts are accumulated locally per RunUntil call and flushed
 // once, so the dispatch loop pays no per-event atomic operation.
 var (
-	obsEvents  = obs.GetCounter("eventsim.events")
-	obsRunTime = obs.GetHistogram("eventsim.run")
+	obsEvents  = obs.GetCounter("eventsim.events", "Discrete events dispatched by the engine")
+	obsRunTime = obs.GetHistogram("eventsim.run", "Wall time of one RunUntil dispatch loop")
 )
 
 // Handler is the callback invoked when an event fires. The engine passes

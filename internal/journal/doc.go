@@ -1,0 +1,46 @@
+// Package journal is the controller's durability layer: an append-only,
+// length-prefixed, CRC32C-framed write-ahead log of association-domain
+// mutations, plus periodic checkpoints and a recovery path that survives
+// torn tails and corrupt frames.
+//
+// # Frame format
+//
+// Every record is one frame:
+//
+//	magic   uint32 LE  (0xAA57_33F5)
+//	length  uint32 LE  (payload bytes, ≤ MaxRecordBytes)
+//	crc     uint32 LE  (CRC-32C / Castagnoli, of the payload)
+//	payload []byte     (one JSON-encoded Record)
+//
+// A crash can truncate the final frame at any byte offset; recovery
+// treats an incomplete trailing frame as a torn tail and stops there. A
+// bit flip inside an earlier frame fails its CRC; recovery skips the
+// frame (re-synchronizing on the magic marker when the length field
+// itself was hit) and keeps going, counting the damage instead of
+// failing the restart.
+//
+// The framing itself is exported as EncodeFrame and DecodeFrames so
+// other bounded on-disk logs can reuse it; the flight recorder
+// (internal/obs/flight) frames its metric snapshots this way.
+//
+// # Checkpoints and rotation
+//
+// Every CheckpointEvery appended records the journal asks its owner for
+// a full state snapshot (Options.State), writes it atomically
+// (temp + fsync + rename) as ckpt-<seq>.snap, rotates to a fresh
+// segment seg-<seq+1>.wal, and deletes segments and checkpoints made
+// redundant by the two most recent checkpoints. Recovery loads the
+// newest checkpoint that validates (falling back to its predecessor if
+// the newest is damaged) and replays every surviving record with a
+// sequence number beyond it.
+//
+// Appends are serialized by the caller's commit path; the journal adds
+// only its own file-level locking, so Append is safe for concurrent use
+// regardless.
+//
+// # Observability
+//
+// The package registers journal.* metrics with internal/obs (appends,
+// append latency, fsyncs, checkpoints, rotations, recovery tallies);
+// docs/OBSERVABILITY.md catalogs each one.
+package journal

@@ -1,38 +1,3 @@
-// Package journal is the controller's durability layer: an append-only,
-// length-prefixed, CRC32C-framed write-ahead log of association-domain
-// mutations, plus periodic checkpoints and a recovery path that survives
-// torn tails and corrupt frames.
-//
-// # Frame format
-//
-// Every record is one frame:
-//
-//	magic   uint32 LE  (0xAA57_33F5)
-//	length  uint32 LE  (payload bytes, ≤ MaxRecordBytes)
-//	crc     uint32 LE  (CRC-32C / Castagnoli, of the payload)
-//	payload []byte     (one JSON-encoded Record)
-//
-// A crash can truncate the final frame at any byte offset; recovery
-// treats an incomplete trailing frame as a torn tail and stops there. A
-// bit flip inside an earlier frame fails its CRC; recovery skips the
-// frame (re-synchronizing on the magic marker when the length field
-// itself was hit) and keeps going, counting the damage instead of
-// failing the restart.
-//
-// # Checkpoints and rotation
-//
-// Every CheckpointEvery appended records the journal asks its owner for
-// a full state snapshot (Options.State), writes it atomically
-// (temp + fsync + rename) as ckpt-<seq>.snap, rotates to a fresh
-// segment seg-<seq+1>.wal, and deletes segments and checkpoints made
-// redundant by the two most recent checkpoints. Recovery loads the
-// newest checkpoint that validates (falling back to its predecessor if
-// the newest is damaged) and replays every surviving record with a
-// sequence number beyond it.
-//
-// Appends are serialized by the caller's commit path; the journal adds
-// only its own file-level locking, so Append is safe for concurrent use
-// regardless.
 package journal
 
 import (
@@ -61,19 +26,19 @@ import (
 // Journal health, exported through the obs registry (surfaced by the
 // s3proto health output alongside the protocol.* and domain.* families).
 var (
-	obsAppends     = obs.GetCounter("journal.appends")
-	obsAppendBytes = obs.GetCounter("journal.append_bytes")
-	obsAppendErrs  = obs.GetCounter("journal.append_errors")
-	obsFsyncs      = obs.GetCounter("journal.fsyncs")
-	obsFsync       = obs.GetHistogram("journal.fsync")
-	obsCheckpoints = obs.GetCounter("journal.checkpoints")
-	obsCkptErrs    = obs.GetCounter("journal.checkpoint_errors")
-	obsCkptHist    = obs.GetHistogram("journal.checkpoint")
-	obsRotations   = obs.GetCounter("journal.rotations")
-	obsReplayed    = obs.GetCounter("journal.recovery.records_replayed")
-	obsCorrupt     = obs.GetCounter("journal.recovery.corrupt_skipped")
-	obsTorn        = obs.GetCounter("journal.recovery.torn_tails")
-	obsSeq         = obs.GetGauge("journal.seq")
+	obsAppends     = obs.GetCounter("journal.appends", "WAL records appended (one per journaled domain mutation)")
+	obsAppendBytes = obs.GetCounter("journal.append_bytes", "Framed bytes appended to WAL segments")
+	obsAppendErrs  = obs.GetCounter("journal.append_errors", "Failed appends: encode, write or fsync errors")
+	obsFsyncs      = obs.GetCounter("journal.fsyncs", "Segment fsyncs (per append under FsyncAlways, per tick under FsyncInterval)")
+	obsFsync       = obs.GetHistogram("journal.fsync", "Latency of one segment flush+fsync")
+	obsCheckpoints = obs.GetCounter("journal.checkpoints", "Checkpoints written (every CheckpointEvery records, plus forced ones)")
+	obsCkptErrs    = obs.GetCounter("journal.checkpoint_errors", "Failed checkpoints (compaction degrades, correctness unaffected)")
+	obsCkptHist    = obs.GetHistogram("journal.checkpoint", "Latency of one checkpoint write + segment rotation")
+	obsRotations   = obs.GetCounter("journal.rotations", "Segment rotations (one per successful checkpoint)")
+	obsReplayed    = obs.GetCounter("journal.recovery.records_replayed", "Records replayed from the WAL tail at recovery")
+	obsCorrupt     = obs.GetCounter("journal.recovery.corrupt_skipped", "CRC-corrupt or undecodable frames skipped at recovery")
+	obsTorn        = obs.GetCounter("journal.recovery.torn_tails", "Incomplete trailing frames found at recovery (≤1 per segment)")
+	obsSeq         = obs.GetGauge("journal.seq", "Last assigned WAL sequence number")
 )
 
 const (

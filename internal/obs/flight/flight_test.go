@@ -1,0 +1,237 @@
+package flight
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/s3wlan/s3wlan/internal/obs"
+)
+
+// fakeClock hands out strictly increasing timestamps 1s apart.
+func fakeClock() func() time.Time {
+	t := time.UnixMilli(1_700_000_000_000)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+// start opens a recorder on a private registry with the periodic
+// sampler effectively disabled; tests drive Sample() by hand.
+func start(t *testing.T, reg *obs.Registry, dir string, opts Options) *Recorder {
+	t.Helper()
+	opts.Dir = dir
+	opts.Registry = reg
+	opts.Every = time.Hour
+	if opts.now == nil {
+		opts.now = fakeClock()
+	}
+	r, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := &obs.Registry{}
+	c := reg.GetCounter("rt.count", "test counter")
+	g := reg.GetGauge("rt.gauge", "test gauge")
+	h := reg.GetHistogram("rt.hist", "test histogram")
+
+	rec := start(t, reg, dir, Options{})
+	c.Add(5)
+	g.Set(3)
+	h.Observe(2 * time.Millisecond)
+	rec.Sample()
+	c.Add(2)
+	g.Set(-1)
+	rec.Sample()
+	if err := rec.Stop(); err != nil { // Stop takes a final (unchanged) sample
+		t.Fatal(err)
+	}
+
+	ring, err := Decode(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial full snapshot + 2 manual samples + Stop's final sample.
+	if len(ring.Samples) != 4 {
+		t.Fatalf("samples = %d, want 4", len(ring.Samples))
+	}
+	if !ring.Samples[0].Full || ring.Samples[1].Full {
+		t.Errorf("full flags = %v, %v", ring.Samples[0].Full, ring.Samples[1].Full)
+	}
+	s1, s2 := ring.Samples[1], ring.Samples[2]
+	if s1.V["rt.count"] != 5 || s2.V["rt.count"] != 7 {
+		t.Errorf("rt.count series = %d, %d; want 5, 7", s1.V["rt.count"], s2.V["rt.count"])
+	}
+	if s1.V["rt.gauge"] != 3 || s2.V["rt.gauge"] != -1 {
+		t.Errorf("rt.gauge series = %d, %d; want 3, -1", s1.V["rt.gauge"], s2.V["rt.gauge"])
+	}
+	if s1.V["rt.hist#count"] != 1 || s1.V["rt.hist#ns"] != int64(2*time.Millisecond) {
+		t.Errorf("hist columns = %d, %d", s1.V["rt.hist#count"], s1.V["rt.hist#ns"])
+	}
+	if ring.Kinds["rt.count"] != "c" || ring.Kinds["rt.gauge"] != "g" || ring.Kinds["rt.hist#max"] != "g" {
+		t.Errorf("kinds = %v", ring.Kinds)
+	}
+	// The unchanged final sample still lands, carrying the same values.
+	if got := ring.Samples[3].V["rt.count"]; got != 7 {
+		t.Errorf("final sample rt.count = %d, want 7", got)
+	}
+	// Timestamps are strictly increasing.
+	for i := 1; i < len(ring.Samples); i++ {
+		if !ring.Samples[i].T.After(ring.Samples[i-1].T) {
+			t.Errorf("sample %d time %v not after %v", i, ring.Samples[i].T, ring.Samples[i-1].T)
+		}
+	}
+	if ring.Stats.CorruptFrames != 0 || ring.Stats.TornTails != 0 {
+		t.Errorf("clean ring decoded with damage: %+v", ring.Stats)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	reg := &obs.Registry{}
+	c := reg.GetCounter("tt.count")
+	rec := start(t, reg, dir, Options{})
+	c.Add(9)
+	rec.Sample()
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a kill -9 mid-write: append half a frame to the segment.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments = %v, err %v", segs, err)
+	}
+	path := filepath.Join(dir, segs[len(segs)-1].name)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid magic, then truncation mid-header.
+	if _, err := f.Write([]byte{0xF5, 0x33, 0x57, 0xAA, 0x10}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ring, err := Decode(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Stats.TornTails != 1 {
+		t.Errorf("torn tails = %d, want 1", ring.Stats.TornTails)
+	}
+	last := ring.Samples[len(ring.Samples)-1]
+	if last.V["tt.count"] != 9 {
+		t.Errorf("decoded count = %d, want 9", last.V["tt.count"])
+	}
+}
+
+func TestRotationAndPruning(t *testing.T) {
+	dir := t.TempDir()
+	reg := &obs.Registry{}
+	c := reg.GetCounter("rp.count")
+	// Tiny segments: rotate after ~1KiB, keep the ring under ~3KiB.
+	rec := start(t, reg, dir, Options{MaxBytes: 3 << 10, segBytes: 1 << 10})
+	for i := 0; i < 200; i++ {
+		c.Inc()
+		rec.Sample()
+	}
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", len(segs))
+	}
+	var total int64
+	for _, s := range segs {
+		total += s.size
+	}
+	// Budget holds up to one segment of slack (the active segment grows
+	// past the threshold before rotating).
+	if total > (3<<10)+(1<<10)+512 {
+		t.Errorf("ring size = %d bytes, budget 3KiB (+slack)", total)
+	}
+
+	// Pruned ring still decodes: the first surviving record is a full
+	// snapshot, so absolute values are exact.
+	ring, err := Decode(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ring.Samples[len(ring.Samples)-1]
+	if last.V["rp.count"] != 200 {
+		t.Errorf("decoded count = %d, want 200", last.V["rp.count"])
+	}
+	if !ring.Samples[0].Full {
+		t.Error("first surviving record is not a full snapshot")
+	}
+	// Cumulative columns never decrease except at full snapshots.
+	prev := int64(-1)
+	for _, s := range ring.Samples {
+		v := s.V["rp.count"]
+		if !s.Full && v < prev {
+			t.Errorf("rp.count decreased %d -> %d outside a full snapshot", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestRestartContinuesRing(t *testing.T) {
+	dir := t.TempDir()
+	reg := &obs.Registry{}
+	c := reg.GetCounter("rs.count")
+
+	rec := start(t, reg, dir, Options{})
+	c.Add(4)
+	rec.Sample()
+	if err := rec.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh process state (registry reset), same ring dir.
+	reg.Reset()
+	rec2 := start(t, reg, dir, Options{})
+	c.Add(1)
+	rec2.Sample()
+	if err := rec2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 || segs[0].seq >= segs[1].seq {
+		t.Fatalf("segments after restart = %+v", segs)
+	}
+	ring, err := Decode(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restart boundary is a full snapshot that resets the counter.
+	last := ring.Samples[len(ring.Samples)-1]
+	if last.V["rs.count"] != 1 {
+		t.Errorf("post-restart count = %d, want 1", last.V["rs.count"])
+	}
+	first := ring.Samples[1] // first pre-restart sample after the initial full
+	if first.V["rs.count"] != 4 {
+		t.Errorf("pre-restart count = %d, want 4", first.V["rs.count"])
+	}
+}
+
+func TestStartRequiresDir(t *testing.T) {
+	if _, err := Start(Options{}); err == nil {
+		t.Fatal("Start without Dir must fail")
+	}
+}

@@ -1,25 +1,8 @@
-// Package obs is the repository's lightweight observability layer:
-// process-wide counters, timers and duration histograms with atomic
-// updates, a named registry, and a deterministic JSON export. It is
-// pure standard library and allocation-free on the hot path, so the
-// selector beam search, the event engine and the synthetic generator
-// can stay instrumented unconditionally.
-//
-// Metrics are created once (usually in package-level vars at the
-// instrumentation site) and updated with atomic operations:
-//
-//	var selects = obs.GetCounter("core.select.calls")
-//
-//	func (s *Selector) Select(...) { selects.Inc(); ... }
-//
-// Snapshot and WriteJSON read a consistent-enough view for reporting
-// (each metric is read atomically; the set of metrics only grows).
-// Reset zeroes every registered metric, which the CLIs use to scope a
-// report to one invocation and tests use for isolation.
 package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"sync"
@@ -134,19 +117,43 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	timers     map[string]*Timer
 	histograms map[string]*Histogram
+	help       map[string]string
 }
 
 // Default is the process-wide registry every Get* helper registers into.
 var Default = &Registry{}
 
+// setHelpLocked records the metric's help text (the Prometheus # HELP
+// line). The first non-empty help string for a name wins.
+func (r *Registry) setHelpLocked(name string, help []string) {
+	if len(help) == 0 || help[0] == "" {
+		return
+	}
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	if _, ok := r.help[name]; !ok {
+		r.help[name] = help[0]
+	}
+}
+
+// Help returns the registered help text for a metric name ("" if none).
+func (r *Registry) Help(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name]
+}
+
 // GetCounter returns the registry's counter with the given name,
-// creating it on first use.
-func (r *Registry) GetCounter(name string) *Counter {
+// creating it on first use. The optional help string documents what the
+// counter counts; it becomes the Prometheus # HELP text.
+func (r *Registry) GetCounter(name string, help ...string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.counters == nil {
 		r.counters = make(map[string]*Counter)
 	}
+	r.setHelpLocked(name, help)
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
@@ -156,13 +163,15 @@ func (r *Registry) GetCounter(name string) *Counter {
 }
 
 // GetGauge returns the registry's gauge with the given name, creating
-// it on first use.
-func (r *Registry) GetGauge(name string) *Gauge {
+// it on first use. The optional help string documents what the gauge
+// tracks; it becomes the Prometheus # HELP text.
+func (r *Registry) GetGauge(name string, help ...string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.gauges == nil {
 		r.gauges = make(map[string]*Gauge)
 	}
+	r.setHelpLocked(name, help)
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
@@ -172,13 +181,15 @@ func (r *Registry) GetGauge(name string) *Gauge {
 }
 
 // GetTimer returns the registry's timer with the given name, creating
-// it on first use.
-func (r *Registry) GetTimer(name string) *Timer {
+// it on first use. The optional help string documents the timed region;
+// it becomes the Prometheus # HELP text.
+func (r *Registry) GetTimer(name string, help ...string) *Timer {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.timers == nil {
 		r.timers = make(map[string]*Timer)
 	}
+	r.setHelpLocked(name, help)
 	t, ok := r.timers[name]
 	if !ok {
 		t = &Timer{}
@@ -188,13 +199,15 @@ func (r *Registry) GetTimer(name string) *Timer {
 }
 
 // GetHistogram returns the registry's histogram with the given name,
-// creating it on first use.
-func (r *Registry) GetHistogram(name string) *Histogram {
+// creating it on first use. The optional help string documents the
+// observed region; it becomes the Prometheus # HELP text.
+func (r *Registry) GetHistogram(name string, help ...string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.histograms == nil {
 		r.histograms = make(map[string]*Histogram)
 	}
+	r.setHelpLocked(name, help)
 	h, ok := r.histograms[name]
 	if !ok {
 		h = &Histogram{}
@@ -229,16 +242,16 @@ func (r *Registry) Reset() {
 }
 
 // GetCounter returns a counter from the default registry.
-func GetCounter(name string) *Counter { return Default.GetCounter(name) }
+func GetCounter(name string, help ...string) *Counter { return Default.GetCounter(name, help...) }
 
 // GetGauge returns a gauge from the default registry.
-func GetGauge(name string) *Gauge { return Default.GetGauge(name) }
+func GetGauge(name string, help ...string) *Gauge { return Default.GetGauge(name, help...) }
 
 // GetTimer returns a timer from the default registry.
-func GetTimer(name string) *Timer { return Default.GetTimer(name) }
+func GetTimer(name string, help ...string) *Timer { return Default.GetTimer(name, help...) }
 
 // GetHistogram returns a histogram from the default registry.
-func GetHistogram(name string) *Histogram { return Default.GetHistogram(name) }
+func GetHistogram(name string, help ...string) *Histogram { return Default.GetHistogram(name, help...) }
 
 // Reset zeroes the default registry.
 func Reset() { Default.Reset() }
@@ -355,4 +368,72 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Kinds returns every registered metric name mapped to its kind:
+// "counter", "gauge", "timer" or "histogram".
+func (r *Registry) Kinds() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kinds := make(map[string]string,
+		len(r.counters)+len(r.gauges)+len(r.timers)+len(r.histograms))
+	for n := range r.counters {
+		kinds[n] = "counter"
+	}
+	for n := range r.gauges {
+		kinds[n] = "gauge"
+	}
+	for n := range r.timers {
+		kinds[n] = "timer"
+	}
+	for n := range r.histograms {
+		kinds[n] = "histogram"
+	}
+	return kinds
+}
+
+// Column is one flattened int64 series of the registry: a counter or
+// gauge value, or one component (count, total nanoseconds, max, bucket)
+// of a timer or histogram. The flight recorder samples these.
+type Column struct {
+	Value int64
+	// Cumulative marks series that only move up over a process's
+	// lifetime (counters, timer/histogram counts, totals and buckets)
+	// as opposed to point-in-time values (gauges, histogram max).
+	Cumulative bool
+}
+
+// Columns flattens the registry into named int64 series. Counters and
+// gauges keep their name; a timer t contributes "t#count" and "t#ns";
+// a histogram h contributes "h#count", "h#ns", "h#max" and one
+// "h#b<i>" per bucket (bucket i's upper bound is the i'th entry of the
+// decade bounds, the last bucket unbounded). The "#" separator cannot
+// appear in a metric name, so flattened names never collide with plain
+// metrics.
+func (r *Registry) Columns() map[string]Column {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cols := make(map[string]Column,
+		len(r.counters)+len(r.gauges)+2*len(r.timers)+11*len(r.histograms))
+	for n, c := range r.counters {
+		cols[n] = Column{Value: c.Value(), Cumulative: true}
+	}
+	for n, g := range r.gauges {
+		cols[n] = Column{Value: g.Value()}
+	}
+	for n, t := range r.timers {
+		cols[n+"#count"] = Column{Value: t.count.Load(), Cumulative: true}
+		cols[n+"#ns"] = Column{Value: t.nanos.Load(), Cumulative: true}
+	}
+	for n, h := range r.histograms {
+		cols[n+"#count"] = Column{Value: h.count.Load(), Cumulative: true}
+		cols[n+"#ns"] = Column{Value: h.nanos.Load(), Cumulative: true}
+		cols[n+"#max"] = Column{Value: h.max.Load()}
+		for i := range h.buckets {
+			if v := h.buckets[i].Load(); v != 0 {
+				cols[fmt.Sprintf("%s#b%d", n, i)] = Column{Value: v, Cumulative: true}
+			}
+		}
+	}
+	return cols
 }

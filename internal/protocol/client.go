@@ -13,7 +13,8 @@ import (
 
 // obsAgentReconnects counts successful AP-agent reconnections (client
 // side), part of the protocol health counter set.
-var obsAgentReconnects = obs.GetCounter("protocol.agent.reconnects")
+var obsAgentReconnects = obs.GetCounter("protocol.agent.reconnects",
+	"Successful AP-agent reconnections after a lost connection")
 
 // Dialer opens the transport connection for a client. Overriding it lets
 // tests and the chaos demo inject faulty transports (e.g. faultconn).

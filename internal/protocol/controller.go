@@ -22,13 +22,13 @@ import (
 // renewals, lease expiries, accept-loop retries, selection retries after
 // a stale snapshot, and rejected traffic reports.
 var (
-	obsAPRegistered    = obs.GetCounter("protocol.ap.registered")
-	obsAPRenewed       = obs.GetCounter("protocol.ap.renewed")
-	obsLeaseExpired    = obs.GetCounter("protocol.ap.lease_expired")
-	obsAcceptRetries   = obs.GetCounter("protocol.accept.retries")
-	obsSelectRetries   = obs.GetCounter("protocol.select.retries")
-	obsAssocMoves      = obs.GetCounter("protocol.assoc.moves")
-	obsTrafficRejected = obs.GetCounter("protocol.traffic.rejected")
+	obsAPRegistered    = obs.GetCounter("protocol.ap.registered", "First-time AP registrations (hello from an unknown AP)")
+	obsAPRenewed       = obs.GetCounter("protocol.ap.renewed", "AP re-hellos renewing a lease or superseding a half-open agent connection")
+	obsLeaseExpired    = obs.GetCounter("protocol.ap.lease_expired", "AP leases expired after silence; believed users re-homed")
+	obsAcceptRetries   = obs.GetCounter("protocol.accept.retries", "Accept-loop retries after transient listener errors")
+	obsSelectRetries   = obs.GetCounter("protocol.select.retries", "Association decisions recomputed after a stale snapshot at commit")
+	obsAssocMoves      = obs.GetCounter("protocol.assoc.moves", "Re-associations that moved a user between APs")
+	obsTrafficRejected = obs.GetCounter("protocol.traffic.rejected", "Traffic reports rejected (unassociated user or mismatched AP claim)")
 )
 
 // maxSelectRetries bounds the lock-free selection retry loop: after this

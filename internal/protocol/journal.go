@@ -34,7 +34,8 @@ import (
 // reconstructs it losslessly. Without a journal, delivery stays outside
 // the lock (observers may be slow; nothing needs the ordering).
 
-var obsReplayErrs = obs.GetCounter("journal.recovery.replay_errors")
+var obsReplayErrs = obs.GetCounter("journal.recovery.replay_errors",
+	"Recovered WAL records whose replay failed (skipped, recovery continues)")
 
 // ObserverState is the optional persistence surface of an association
 // observer. An observer implementing it (e.g. the incremental social

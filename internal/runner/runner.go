@@ -1,21 +1,3 @@
-// Package runner executes independent units of experiment work — per-seed
-// replications, parameter-sweep cells, per-figure artifact jobs — on a
-// bounded worker pool while keeping the output *byte-identical* to a
-// serial run. Determinism rests on three rules:
-//
-//  1. Results are slot-stored: task i writes only into slot i, so result
-//     order never depends on completion order.
-//  2. Randomness is per-task: every task derives its own RNG from a
-//     stable seed (DeriveSeed of the pool seed and the task index), never
-//     from a shared generator whose consumption order would vary.
-//  3. Errors are index-ordered: the reported error is the one from the
-//     lowest-indexed failing task, which is exactly the error a serial
-//     run would have surfaced first.
-//
-// The pool also feeds the observability layer (internal/obs): per-task
-// durations land in the "runner.task" histogram, completions in
-// "runner.tasks", and an optional Progress writer receives one line per
-// completed task for long grids.
 package runner
 
 import (
@@ -31,8 +13,8 @@ import (
 )
 
 var (
-	obsTasks    = obs.GetCounter("runner.tasks")
-	obsTaskTime = obs.GetHistogram("runner.task")
+	obsTasks    = obs.GetCounter("runner.tasks", "Worker-pool tasks completed (sweep cells, figure jobs, replications)")
+	obsTaskTime = obs.GetHistogram("runner.task", "Wall time of one worker-pool task")
 )
 
 // Config shapes one pool invocation.

@@ -45,17 +45,17 @@ import (
 // Refresh observability: edge/component/clique churn per refresh, the
 // refresh latency, and the age of the state a new snapshot replaces.
 var (
-	obsEvents     = obs.GetCounter("society.inc.events")
-	obsEdgesChg   = obs.GetCounter("society.inc.edges_changed")
-	obsCompsDirty = obs.GetCounter("society.inc.components_dirty")
-	obsCliques    = obs.GetCounter("society.inc.cliques_resolved")
-	obsRefreshes  = obs.GetCounter("society.inc.refreshes")
-	obsFull       = obs.GetCounter("society.inc.full_rebuilds")
-	obsRefresh    = obs.GetHistogram("society.inc.refresh")
-	obsSnapAge    = obs.GetHistogram("society.inc.snapshot_age")
-	obsSeq        = obs.GetGauge("society.inc.snapshot_seq")
-	obsUsers      = obs.GetGauge("society.inc.users")
-	obsEdges      = obs.GetGauge("society.inc.edges")
+	obsEvents     = obs.GetCounter("society.inc.events", "Connect/Disconnect events staged into the incremental engine")
+	obsEdgesChg   = obs.GetCounter("society.inc.edges_changed", "θ-graph edges added, removed or re-weighted across refreshes")
+	obsCompsDirty = obs.GetCounter("society.inc.components_dirty", "Dirty components re-solved across refreshes")
+	obsCliques    = obs.GetCounter("society.inc.cliques_resolved", "Cliques re-extracted from dirty components across refreshes")
+	obsRefreshes  = obs.GetCounter("society.inc.refreshes", "Snapshot refreshes published (periodic, event-count and manual)")
+	obsFull       = obs.GetCounter("society.inc.full_rebuilds", "Full θ-graph rebuilds (SetTypes changes the type prior)")
+	obsRefresh    = obs.GetHistogram("society.inc.refresh", "Latency of one incremental refresh")
+	obsSnapAge    = obs.GetHistogram("society.inc.snapshot_age", "Age of the snapshot a refresh replaces")
+	obsSeq        = obs.GetGauge("society.inc.snapshot_seq", "Sequence number of the published social snapshot")
+	obsUsers      = obs.GetGauge("society.inc.users", "Users tracked in the published social snapshot")
+	obsEdges      = obs.GetGauge("society.inc.edges", "θ > threshold edges in the published social snapshot")
 )
 
 // Config parameterizes the engine.

@@ -15,7 +15,8 @@ import (
 
 // obsTrain times whole training runs — one of the two dominant stages
 // (with wlan.Simulate) of every experiment cell.
-var obsTrain = obs.GetHistogram("society.train")
+var obsTrain = obs.GetHistogram("society.train",
+	"Wall time of one batch sociality-model training run")
 
 // Config holds the sociality-learning parameters studied in the paper's
 // evaluation (Figs. 10 and 11).

@@ -18,9 +18,9 @@ import (
 
 // Observability of trace generation (stage timing plus output volume).
 var (
-	obsGenerate = obs.GetHistogram("synth.generate")
-	obsSessions = obs.GetCounter("synth.sessions")
-	obsFlows    = obs.GetCounter("synth.flows")
+	obsGenerate = obs.GetHistogram("synth.generate", "Wall time of one synthetic campus generation")
+	obsSessions = obs.GetCounter("synth.sessions", "Synthetic sessions generated")
+	obsFlows    = obs.GetCounter("synth.flows", "Synthetic flows generated")
 )
 
 // archetypeMixes maps each archetype to its realm mixture (canonical realm

@@ -16,8 +16,8 @@ import (
 // Observability of simulation runs — with society.Train, the dominant
 // stage of every experiment cell.
 var (
-	obsSimulate = obs.GetHistogram("wlan.simulate")
-	obsSimSess  = obs.GetCounter("wlan.sessions")
+	obsSimulate = obs.GetHistogram("wlan.simulate", "Wall time of one trace-driven simulation run")
+	obsSimSess  = obs.GetCounter("wlan.sessions", "Sessions replayed by the simulator")
 )
 
 // AssociationObserver receives simulated association lifecycle events —

@@ -1,0 +1,119 @@
+package s3wlan_test
+
+// Doc-drift guard: docs/OBSERVABILITY.md must list every registered
+// metric with its correct kind, and must not list metrics that no
+// longer exist. Blank imports force every registering package's
+// package-level metric vars to initialize into obs.Default before the
+// comparison runs.
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/obs"
+
+	_ "github.com/s3wlan/s3wlan/internal/core"
+	_ "github.com/s3wlan/s3wlan/internal/domain"
+	_ "github.com/s3wlan/s3wlan/internal/eventsim"
+	_ "github.com/s3wlan/s3wlan/internal/journal"
+	_ "github.com/s3wlan/s3wlan/internal/obs/flight"
+	_ "github.com/s3wlan/s3wlan/internal/protocol"
+	_ "github.com/s3wlan/s3wlan/internal/runner"
+	_ "github.com/s3wlan/s3wlan/internal/society"
+	_ "github.com/s3wlan/s3wlan/internal/society/incremental"
+	_ "github.com/s3wlan/s3wlan/internal/synth"
+	_ "github.com/s3wlan/s3wlan/internal/wlan"
+)
+
+// docRow matches one metric table row: | `name` | kind | ... |
+var docRow = regexp.MustCompile("(?m)^\\| `([a-z0-9._]+)` \\| (counter|gauge|timer|histogram) \\|")
+
+// dynamicMetric matches the per-shard gauges registered at domain
+// construction; they are documented as a pattern, not as table rows.
+var dynamicMetric = regexp.MustCompile(`^domain\.[^.]+\.shard\d{2}\.(aps|users)$`)
+
+// promName is the legal Prometheus metric-name charset.
+var promName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func loadDocKinds(t *testing.T) map[string]string {
+	t.Helper()
+	raw, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read metric reference: %v", err)
+	}
+	kinds := make(map[string]string)
+	for _, m := range docRow.FindAllStringSubmatch(string(raw), -1) {
+		name, kind := m[1], m[2]
+		if prev, dup := kinds[name]; dup {
+			t.Errorf("docs/OBSERVABILITY.md lists %s twice (%s and %s)", name, prev, kind)
+		}
+		kinds[name] = kind
+	}
+	if len(kinds) == 0 {
+		t.Fatal("no metric rows parsed from docs/OBSERVABILITY.md; table format changed?")
+	}
+	return kinds
+}
+
+func TestMetricsMatchDocs(t *testing.T) {
+	doc := loadDocKinds(t)
+	live := obs.Default.Kinds()
+
+	for name, kind := range live {
+		if dynamicMetric.MatchString(name) {
+			continue
+		}
+		switch docKind := doc[name]; {
+		case docKind == "":
+			t.Errorf("metric %s (%s) is registered but missing from docs/OBSERVABILITY.md", name, kind)
+		case docKind != kind:
+			t.Errorf("metric %s is a %s but documented as %s", name, kind, docKind)
+		}
+	}
+	for name, kind := range doc {
+		if live[name] == "" {
+			t.Errorf("docs/OBSERVABILITY.md lists %s (%s) but no such metric is registered", name, kind)
+		}
+	}
+}
+
+func TestMetricsHaveHelp(t *testing.T) {
+	for _, name := range obs.Default.Names() {
+		if obs.Default.Help(name) == "" {
+			t.Errorf("metric %s registered without a help string", name)
+		}
+	}
+}
+
+// TestExposedNamesUnique asserts that sanitizing dotted names to the
+// Prometheus charset introduces no collisions, including the _sum /
+// _count / _bucket series that timers and histograms expand into.
+func TestExposedNamesUnique(t *testing.T) {
+	series := make(map[string]string) // exposed series name -> source metric
+	claim := func(exposed, source string) {
+		if !promName.MatchString(exposed) {
+			t.Errorf("metric %s exposes illegal series name %q", source, exposed)
+		}
+		if prev, dup := series[exposed]; dup && prev != source {
+			t.Errorf("series %s exposed by both %s and %s", exposed, prev, source)
+		}
+		series[exposed] = source
+	}
+	for name, kind := range obs.Default.Kinds() {
+		base := obs.SanitizeMetricName(name)
+		switch kind {
+		case "counter", "gauge":
+			claim(base, name)
+		case "timer":
+			claim(base+"_sum", name)
+			claim(base+"_count", name)
+		case "histogram":
+			claim(base+"_bucket", name)
+			claim(base+"_sum", name)
+			claim(base+"_count", name)
+		default:
+			t.Errorf("metric %s has unknown kind %q", name, kind)
+		}
+	}
+}
