@@ -34,6 +34,19 @@ type SocialIndex interface {
 	Index(u, v trace.UserID) float64
 }
 
+// FriendIndex extends SocialIndex with a precomputed close-friend list:
+// CloseFriends(u) returns, sorted and read-only, exactly the users v
+// with θ(u,v) > FriendThreshold(). The incremental engine
+// (society/incremental) satisfies it from the θ-graph it already
+// maintains. A selector whose EdgeThreshold matches FriendThreshold
+// computes friend-load buckets by merging two sorted lists instead of
+// evaluating Index against every user on every candidate AP.
+type FriendIndex interface {
+	SocialIndex
+	CloseFriends(u trace.UserID) []trace.UserID
+	FriendThreshold() float64
+}
+
 // SelectorConfig tunes the S³ policy.
 type SelectorConfig struct {
 	// EdgeThreshold is the θ value above which two users are considered
@@ -87,7 +100,11 @@ func (c SelectorConfig) withDefaults() SelectorConfig {
 // groups, Algorithm 1).
 type Selector struct {
 	social SocialIndex
-	cfg    SelectorConfig
+	// friends is non-nil when social also satisfies FriendIndex at the
+	// selector's own edge threshold — the precondition for the merge
+	// fast path to rank identically to the Index scan.
+	friends FriendIndex
+	cfg     SelectorConfig
 }
 
 var (
@@ -96,11 +113,18 @@ var (
 )
 
 // NewSelector builds an S³ selector over a trained sociality model.
+// When the index also satisfies FriendIndex and its threshold matches
+// the selector's EdgeThreshold, Select uses the precomputed close-friend
+// lists instead of rescanning every AP's users with Index.
 func NewSelector(social SocialIndex, cfg SelectorConfig) (*Selector, error) {
 	if social == nil {
 		return nil, errors.New("core: nil social index")
 	}
-	return &Selector{social: social, cfg: cfg.withDefaults()}, nil
+	s := &Selector{social: social, cfg: cfg.withDefaults()}
+	if fi, ok := social.(FriendIndex); ok && fi.FriendThreshold() == s.cfg.EdgeThreshold {
+		s.friends = fi
+	}
+	return s, nil
 }
 
 // Name implements wlan.Selector.
@@ -161,39 +185,41 @@ func (s *Selector) Select(req wlan.Request, aps []wlan.APView) (trace.APID, erro
 	}
 	guard := minLoad + s.cfg.BalanceGuard*(totalLoad/float64(len(aps))+req.DemandBps)
 
-	var withinGuard []rankedAP
-	var feasibleAll []wlan.APView
-	for _, ap := range aps {
+	// Single pass, no candidate slices: track the best guarded candidate
+	// (friend buckets are computed only for those), the least-loaded
+	// feasible AP and — implicitly, via leastLoaded — the least-loaded AP
+	// overall for the two fallbacks. Replacement is strict (cand.less /
+	// apLess), so ties resolve to the earliest AP exactly as the former
+	// slice-then-scan ranking did.
+	bestIdx, feasIdx := -1, -1
+	var bestRank rankedAP
+	for i := range aps {
+		ap := &aps[i]
 		if !ap.HasCapacityFor(req.DemandBps) {
 			continue
 		}
-		feasibleAll = append(feasibleAll, ap)
+		if feasIdx < 0 || apLess(*ap, aps[feasIdx]) {
+			feasIdx = i
+		}
 		if ap.LoadBps > guard {
 			continue
 		}
-		withinGuard = append(withinGuard, rankedAP{
-			ap:      ap,
-			friends: s.friendLoadBuckets(req, ap),
-		})
-	}
-	if len(withinGuard) == 0 {
-		// No AP is both feasible and within the guard: fall back to the
-		// least-loaded feasible AP, and only overload when nothing can
-		// absorb the demand at all.
-		obsGuardFallback.Inc()
-		if len(feasibleAll) > 0 {
-			return leastLoaded(feasibleAll), nil
-		}
-		return leastLoaded(aps), nil
-	}
-	feasible := withinGuard
-	best := feasible[0]
-	for _, cand := range feasible[1:] {
-		if cand.less(best) {
-			best = cand
+		cand := rankedAP{ap: *ap, friends: s.friendLoadBuckets(req, *ap)}
+		if bestIdx < 0 || cand.less(bestRank) {
+			bestIdx, bestRank = i, cand
 		}
 	}
-	return best.ap.ID, nil
+	if bestIdx >= 0 {
+		return aps[bestIdx].ID, nil
+	}
+	// No AP is both feasible and within the guard: fall back to the
+	// least-loaded feasible AP, and only overload when nothing can
+	// absorb the demand at all.
+	obsGuardFallback.Inc()
+	if feasIdx >= 0 {
+		return aps[feasIdx].ID, nil
+	}
+	return leastLoaded(aps), nil
 }
 
 // friendLoadBuckets measures how much co-leaving load already sits on the
@@ -210,6 +236,32 @@ func (s *Selector) friendLoadBuckets(req wlan.Request, ap wlan.APView) int {
 		unit = 1
 	}
 	var friendLoad float64
+	if s.friends != nil {
+		// Fast path: ap.Users and the close-friend list are both sorted,
+		// so their intersection is one merge — no Index call per user.
+		// CloseFriends lists exactly the θ > threshold partners, and never
+		// the requester (the θ-graph has no self-edges), matching the
+		// Index-scan semantics below.
+		fs := s.friends.CloseFriends(req.User)
+		i, j := 0, 0
+		for i < len(ap.Users) && j < len(fs) {
+			switch {
+			case ap.Users[i] < fs[j]:
+				i++
+			case ap.Users[i] > fs[j]:
+				j++
+			default:
+				if i < len(ap.UserDemands) {
+					friendLoad += ap.UserDemands[i]
+				} else {
+					friendLoad += unit
+				}
+				i++
+				j++
+			}
+		}
+		return int(math.Floor(friendLoad / unit))
+	}
 	for i, w := range ap.Users {
 		if s.social.Index(req.User, w) <= s.cfg.EdgeThreshold {
 			continue

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"sort"
 	"sync"
@@ -99,18 +98,34 @@ func Admits(capacityBps, loadBps, demandBps float64) bool {
 	return loadBps+demandBps <= capacityBps
 }
 
+// FNV-1a parameters, inlined so the hot paths (per-view RSSI synthesis,
+// per-placement shard routing) hash without instantiating a hash.Hash32
+// — hash/fnv's New32a escapes to the heap on every call.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnv32aString(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * fnvPrime32
+	}
+	return h
+}
+
 // SyntheticRSSI derives a stable pseudo-random signal strength in
 // [-90, -30] dBm from the (user, AP) pair. It stands in for physical
 // proximity: each user consistently "hears" some APs louder than others,
 // which is all the strongest-RSSI baseline needs. Simulator and live
 // controller share it, so signal-driven policies decide identically in
-// both.
+// both. The hash is FNV-1a over user|0x00|AP, computed inline — bit
+// identical to the historical hash/fnv implementation, without its
+// per-call allocation.
 func SyntheticRSSI(u trace.UserID, ap trace.APID) float64 {
-	h := fnv.New32a()
-	h.Write([]byte(u))
-	h.Write([]byte{0})
-	h.Write([]byte(ap))
-	return -90 + float64(h.Sum32()%61)
+	h := fnv32aString(uint32(fnvOffset32), string(u))
+	h = (h ^ 0) * fnvPrime32
+	h = fnv32aString(h, string(ap))
+	return -90 + float64(h%61)
 }
 
 // Version is the per-shard version vector captured by Views. Commit
@@ -178,14 +193,53 @@ type Config struct {
 	ObsName string
 }
 
-// apState is one AP's accounting.
+// apState is one AP's accounting. users is the authoritative map;
+// sortedU/sortedD mirror it in sorted order and are maintained
+// incrementally at every mutation point, so view snapshots copy flat
+// arrays instead of re-sorting the membership on every policy decision.
 type apState struct {
 	id          trace.APID
 	capacityBps float64
 	reportedBps float64
 	believedBps float64
 	users       map[trace.UserID]float64 // user -> believed demand
+	sortedU     []trace.UserID           // users, sorted ascending
+	sortedD     []float64                // sortedD[i] = users[sortedU[i]]
 	failed      bool
+}
+
+// userIndex returns the sorted-slice position of u (or its insertion
+// point when absent).
+func (st *apState) userIndex(u trace.UserID) int {
+	return sort.Search(len(st.sortedU), func(i int) bool { return st.sortedU[i] >= u })
+}
+
+// bumpUser adds delta to u's believed demand, inserting u when new, and
+// keeps the sorted mirror current. Reports whether u was newly inserted.
+func (st *apState) bumpUser(u trace.UserID, delta float64) bool {
+	at := st.userIndex(u)
+	if at < len(st.sortedU) && st.sortedU[at] == u {
+		st.users[u] += delta
+		st.sortedD[at] = st.users[u]
+		return false
+	}
+	st.users[u] = delta
+	st.sortedU = append(st.sortedU, "")
+	copy(st.sortedU[at+1:], st.sortedU[at:])
+	st.sortedU[at] = u
+	st.sortedD = append(st.sortedD, 0)
+	copy(st.sortedD[at+1:], st.sortedD[at:])
+	st.sortedD[at] = delta
+	return true
+}
+
+// dropUser removes u from the map and the sorted mirror.
+func (st *apState) dropUser(u trace.UserID) {
+	delete(st.users, u)
+	if at := st.userIndex(u); at < len(st.sortedU) && st.sortedU[at] == u {
+		st.sortedU = append(st.sortedU[:at], st.sortedU[at+1:]...)
+		st.sortedD = append(st.sortedD[:at], st.sortedD[at+1:]...)
+	}
 }
 
 // shard owns a partition of the AP set behind its own lock.
@@ -258,9 +312,7 @@ func (d *Domain) ShardOf(ap trace.APID) int {
 	if len(d.shards) == 1 {
 		return 0
 	}
-	h := fnv.New32a()
-	h.Write([]byte(ap))
-	return int(h.Sum32() % uint32(len(d.shards)))
+	return int(fnv32aString(uint32(fnvOffset32), string(ap)) % uint32(len(d.shards)))
 }
 
 func (d *Domain) shardOf(ap trace.APID) *shard { return d.shards[d.ShardOf(ap)] }
@@ -334,13 +386,14 @@ func drain(sh *shard, st *apState) []Eviction {
 	if len(st.users) == 0 {
 		return nil
 	}
-	evicted := make([]Eviction, 0, len(st.users))
-	for u, dem := range st.users {
-		evicted = append(evicted, Eviction{User: u, DemandBps: dem})
+	evicted := make([]Eviction, len(st.sortedU))
+	for i, u := range st.sortedU {
+		evicted[i] = Eviction{User: u, DemandBps: st.sortedD[i]}
 	}
-	sort.Slice(evicted, func(i, j int) bool { return evicted[i].User < evicted[j].User })
 	sh.entries -= len(st.users)
 	st.users = make(map[trace.UserID]float64)
+	st.sortedU = st.sortedU[:0]
+	st.sortedD = st.sortedD[:0]
 	st.believedBps = 0
 	obsEvictions.Add(int64(len(evicted)))
 	return evicted
@@ -437,35 +490,69 @@ func (d *Domain) Info(id trace.APID) (APInfo, bool) {
 }
 
 func sortedUsers(st *apState) ([]trace.UserID, []float64) {
-	users := make([]trace.UserID, 0, len(st.users))
-	for u := range st.users {
-		users = append(users, u)
-	}
-	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
-	demands := make([]float64, len(users))
-	for i, u := range users {
-		demands[i] = st.users[u]
-	}
+	users := make([]trace.UserID, len(st.sortedU))
+	copy(users, st.sortedU)
+	demands := make([]float64, len(st.sortedD))
+	copy(demands, st.sortedD)
 	return users, demands
 }
+
+// ViewBuf is a reusable snapshot buffer for ViewsInto. The views' Users
+// and UserDemands slices alias the buffer's flat backing arrays, so a
+// caller that pools ViewBufs takes policy-decision snapshots without
+// allocating once the arrays have grown to the working-set size. The
+// contents are valid until the next ViewsInto call on the same buffer.
+type ViewBuf struct {
+	views   []APView
+	ver     Version
+	users   []trace.UserID
+	demands []float64
+	offs    []int
+	sorter  viewSorter
+}
+
+// Views returns the snapshot taken by the last ViewsInto call.
+func (b *ViewBuf) Views() []APView { return b.views }
+
+// Version returns the version vector of the last ViewsInto call.
+func (b *ViewBuf) Version() Version { return b.ver }
+
+// viewSorter sorts APViews by ID without the closure+interface
+// allocations sort.Slice incurs.
+type viewSorter struct{ v []APView }
+
+func (s *viewSorter) Len() int           { return len(s.v) }
+func (s *viewSorter) Less(i, j int) bool { return s.v[i].ID < s.v[j].ID }
+func (s *viewSorter) Swap(i, j int)      { s.v[i], s.v[j] = s.v[j], s.v[i] }
 
 // Views snapshots the non-failed APs for a policy decision by user u,
 // with the per-shard version vector the commit validates against. APs
 // are returned in sorted ID order regardless of sharding, so a policy
 // sees the same candidate list for any shard count.
 func (d *Domain) Views(u trace.UserID) ([]APView, Version) {
+	var buf ViewBuf
+	d.ViewsInto(u, &buf)
+	return buf.views, buf.ver
+}
+
+// ViewsInto is Views writing into a caller-owned reusable buffer — the
+// zero-allocation fast path for the live controller's Associate. The
+// returned slices are buf's; see ViewBuf.
+func (d *Domain) ViewsInto(u trace.UserID, buf *ViewBuf) {
 	obsViews.Inc()
-	ver := make(Version, len(d.shards))
-	var out []APView
-	for i, sh := range d.shards {
+	buf.views = buf.views[:0]
+	buf.ver = buf.ver[:0]
+	buf.users = buf.users[:0]
+	buf.demands = buf.demands[:0]
+	buf.offs = buf.offs[:0]
+	for _, sh := range d.shards {
 		sh.mu.RLock()
-		ver[i] = sh.version
+		buf.ver = append(buf.ver, sh.version)
 		for _, id := range sh.ids {
 			st := sh.aps[id]
 			if st.failed {
 				continue
 			}
-			users, demands := sortedUsers(st)
 			var load float64
 			switch d.mode {
 			case LoadReported:
@@ -478,21 +565,30 @@ func (d *Domain) Views(u trace.UserID) ([]APView, Version) {
 			default:
 				load = st.believedBps
 			}
-			out = append(out, APView{
+			// Copy membership into the flat arrays; the per-view slices
+			// are cut after the loop, once the arrays stop moving.
+			buf.offs = append(buf.offs, len(buf.users))
+			buf.users = append(buf.users, st.sortedU...)
+			buf.demands = append(buf.demands, st.sortedD...)
+			buf.views = append(buf.views, APView{
 				ID:          id,
 				CapacityBps: st.capacityBps,
 				LoadBps:     load,
-				Users:       users,
-				UserDemands: demands,
 				RSSI:        d.rssi(u, id),
 			})
 		}
 		sh.mu.RUnlock()
 	}
-	if len(d.shards) > 1 {
-		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	buf.offs = append(buf.offs, len(buf.users))
+	for i := range buf.views {
+		lo, hi := buf.offs[i], buf.offs[i+1]
+		buf.views[i].Users = buf.users[lo:hi:hi]
+		buf.views[i].UserDemands = buf.demands[lo:hi:hi]
 	}
-	return out, ver
+	if len(d.shards) > 1 {
+		buf.sorter.v = buf.views
+		sort.Sort(&buf.sorter)
+	}
 }
 
 // Commit applies a placement set atomically. Placements landing in one
@@ -580,10 +676,9 @@ func (d *Domain) Commit(ps []Placement, ver Version) (CommitResult, error) {
 		if !Admits(st.capacityBps, st.believedBps, p.DemandBps) {
 			res.Overloads++
 		}
-		if _, had := st.users[p.User]; !had {
+		if st.bumpUser(p.User, p.DemandBps) {
 			sh.entries++
 		}
-		st.users[p.User] += p.DemandBps
 		st.believedBps += p.DemandBps
 	}
 	for _, i := range idxs {
@@ -608,7 +703,7 @@ func removeUser(sh *shard, st *apState, u trace.UserID) (removed float64, ok boo
 	if !ok {
 		return 0, false
 	}
-	delete(st.users, u)
+	st.dropUser(u)
 	sh.entries--
 	st.believedBps -= cur
 	if st.believedBps < 0 {
@@ -641,10 +736,11 @@ func (d *Domain) Leave(u trace.UserID, ap trace.APID, demandBps float64) bool {
 		release = cur
 	}
 	if rem := cur - release; rem <= 1e-9 {
-		delete(st.users, u)
+		st.dropUser(u)
 		sh.entries--
 	} else {
 		st.users[u] = rem
+		st.sortedD[st.userIndex(u)] = rem
 	}
 	st.believedBps -= release
 	if st.believedBps < 0 {

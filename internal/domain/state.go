@@ -90,10 +90,9 @@ func (d *Domain) ImportState(st *State) error {
 				sh.mu.Unlock()
 				return fmt.Errorf("domain: AP %q state has empty user id", ap.ID)
 			}
-			if _, dup := apst.users[u]; !dup {
+			if apst.bumpUser(u, ap.Demands[i]) {
 				sh.entries++
 			}
-			apst.users[u] += ap.Demands[i]
 			apst.believedBps += ap.Demands[i]
 		}
 		sh.version++

@@ -1,0 +1,142 @@
+package domain
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// TestViewsIntoMatchesViews: the pooled flat-array snapshot must be
+// indistinguishable from the allocating Views path across mutations,
+// and reusing the buffer must never let a later call alias an earlier
+// view's user slice.
+func TestViewsIntoMatchesViews(t *testing.T) {
+	d := New(Config{Shards: 4})
+	for i := 0; i < 9; i++ {
+		if err := d.AddAP(trace.APID(fmt.Sprintf("ap%d", i)), 1e6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ps []Placement
+	for i := 0; i < 40; i++ {
+		ps = append(ps, Placement{
+			User:      trace.UserID(fmt.Sprintf("u%02d", i)),
+			AP:        trace.APID(fmt.Sprintf("ap%d", i%9)),
+			DemandBps: float64(10 * (i + 1)),
+		})
+	}
+	if _, err := d.Commit(ps, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf ViewBuf
+	check := func(stage string) {
+		t.Helper()
+		want, wantVer := d.Views("probe")
+		d.ViewsInto("probe", &buf)
+		if !reflect.DeepEqual(buf.Views(), want) {
+			t.Fatalf("%s: ViewsInto diverged from Views:\nwant %+v\ngot  %+v", stage, want, buf.Views())
+		}
+		if !reflect.DeepEqual(buf.Version(), wantVer) {
+			t.Fatalf("%s: version vector diverged: %v vs %v", stage, buf.Version(), wantVer)
+		}
+	}
+	check("initial")
+
+	// Mutate: partial leave, full leave, a move, an AP removal.
+	d.Leave("u00", "ap0", 5)
+	check("partial leave")
+	if _, ok := d.LeaveAll("u01", "ap1"); !ok {
+		t.Fatal("LeaveAll failed")
+	}
+	check("full leave")
+	if _, err := d.Commit([]Placement{{User: "u02", AP: "ap5", Prev: "ap2", DemandBps: 30}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	check("move")
+	if _, ok := d.RemoveAP("ap8"); !ok {
+		t.Fatal("RemoveAP failed")
+	}
+	check("AP removed")
+
+	// Aliasing guard: snapshot, then reuse the same buffer for a bigger
+	// domain state; the first snapshot's user slices must be unaffected.
+	d.ViewsInto("probe", &buf)
+	frozen := make([][]trace.UserID, len(buf.Views()))
+	for i, v := range buf.Views() {
+		frozen[i] = append([]trace.UserID(nil), v.Users...)
+	}
+	first := buf.Views()
+	var buf2 ViewBuf
+	d.ViewsInto("probe", &buf2) // independent buffer, same content
+	for i := range first {
+		if !reflect.DeepEqual(first[i].Users, frozen[i]) {
+			t.Fatalf("view %d users mutated by later snapshot: %v vs %v", i, first[i].Users, frozen[i])
+		}
+	}
+}
+
+// TestSortedMirrorConsistency: the incrementally maintained sorted
+// user/demand mirrors must agree with the authoritative map after every
+// kind of mutation.
+func TestSortedMirrorConsistency(t *testing.T) {
+	d := New(Config{Shards: 1})
+	if err := d.AddAP("ap", 1e6); err != nil {
+		t.Fatal(err)
+	}
+	mutate := []struct {
+		name string
+		run  func()
+	}{
+		{"joins", func() {
+			var ps []Placement
+			for i := 0; i < 16; i++ {
+				ps = append(ps, Placement{User: trace.UserID(fmt.Sprintf("z%02d", 15-i)), AP: "ap", DemandBps: float64(i + 1)})
+			}
+			if _, err := d.Commit(ps, nil); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"demand bump", func() {
+			if _, err := d.Commit([]Placement{{User: "z05", AP: "ap", DemandBps: 100}}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"partial leave", func() { d.Leave("z05", "ap", 40) }},
+		{"full leave via drain", func() { d.Leave("z06", "ap", 1e9) }},
+		{"leave all", func() { d.LeaveAll("z07", "ap") }},
+	}
+	for _, m := range mutate {
+		m.run()
+		info, ok := d.Info("ap")
+		if !ok {
+			t.Fatalf("%s: AP vanished", m.name)
+		}
+		sh := d.shardOf("ap")
+		sh.mu.RLock()
+		st := sh.aps["ap"]
+		if len(st.sortedU) != len(st.users) || len(st.sortedD) != len(st.users) {
+			sh.mu.RUnlock()
+			t.Fatalf("%s: mirror length %d/%d vs map %d", m.name, len(st.sortedU), len(st.sortedD), len(st.users))
+		}
+		for i, u := range st.sortedU {
+			if i > 0 && st.sortedU[i-1] >= u {
+				sh.mu.RUnlock()
+				t.Fatalf("%s: mirror out of order at %d: %v", m.name, i, st.sortedU)
+			}
+			if st.users[u] != st.sortedD[i] {
+				sh.mu.RUnlock()
+				t.Fatalf("%s: demand mirror for %s = %v, map %v", m.name, u, st.sortedD[i], st.users[u])
+			}
+		}
+		sh.mu.RUnlock()
+		for i, u := range info.Users {
+			if i > 0 && info.Users[i-1] >= u {
+				t.Fatalf("%s: Info users out of order: %v", m.name, info.Users)
+			}
+			_ = info.UserDemands[i]
+		}
+	}
+}

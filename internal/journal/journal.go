@@ -42,18 +42,46 @@ var (
 )
 
 const (
-	// frameMagic marks the start of every frame. The two high bytes are
+	// FrameMagic marks the start of every frame. The two high bytes are
 	// non-ASCII, so a JSON payload can never contain the marker and
-	// post-corruption re-synchronization is reliable.
-	frameMagic uint32 = 0xAA5733F5
-	// frameHeader is the fixed frame header size: magic, length, CRC.
-	frameHeader = 12
+	// post-corruption re-synchronization is reliable. Encoded little-
+	// endian, the first byte on the wire is 0xF5 — also non-ASCII, which
+	// lets a shared listener distinguish a framed binary stream from a
+	// JSON-lines stream by its first byte (internal/protocol reuses this
+	// framing as its binary wire format).
+	FrameMagic uint32 = 0xAA5733F5
+	// frameMagic is the historical internal spelling.
+	frameMagic = FrameMagic
+	// FrameHeaderLen is the fixed frame header size: magic, length, CRC.
+	FrameHeaderLen = 12
+	// frameHeader is the historical internal spelling.
+	frameHeader = FrameHeaderLen
 	// MaxRecordBytes bounds a single record's payload; a decoded length
 	// beyond it is treated as corruption, not an allocation request.
 	MaxRecordBytes = 16 << 20
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C (Castagnoli) checksum frames carry —
+// exported so other framings built on EncodeFrame/AppendFrame (the
+// protocol's binary codec) can validate payloads without re-deriving
+// the table.
+func Checksum(payload []byte) uint32 {
+	return crc32.Checksum(payload, crcTable)
+}
+
+// AppendFrame appends payload wrapped in a magic + length + CRC32C frame
+// to dst and returns the extended slice — the allocation-free sibling of
+// EncodeFrame for callers that reuse a scratch buffer.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [FrameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], FrameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
 
 // Op enumerates the journaled domain mutations.
 type Op string

@@ -44,6 +44,8 @@ type ReconnectConfig struct {
 	Seed int64
 	// Dial overrides the transport dialer (default TCP).
 	Dial Dialer
+	// Codec selects the wire encoding (zero value: binary).
+	Codec Codec
 }
 
 // DefaultReconnectConfig is a sensible starting point: 8 attempts,
@@ -75,41 +77,52 @@ type APAgent struct {
 }
 
 // dialAP opens one agent connection and performs the hello handshake.
-func dialAP(dial Dialer, addr string, id trace.APID, capacityBps float64, timeout time.Duration) (*Conn, error) {
+func dialAP(dial Dialer, addr string, id trace.APID, capacityBps float64, timeout time.Duration, codec Codec) (*Conn, error) {
 	raw, err := dial(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: dial: %w", err)
 	}
-	conn := NewConn(raw, timeout)
+	conn := NewConnCodec(raw, timeout, codec)
+	if err := helloAP(conn, id, capacityBps); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// helloAP performs one AP hello exchange on an open connection.
+func helloAP(conn *Conn, id trace.APID, capacityBps float64) error {
 	if err := conn.Send(Message{
 		Type:        MsgHello,
 		Role:        RoleAP,
 		ID:          string(id),
 		CapacityBps: capacityBps,
 	}); err != nil {
-		conn.Close()
-		return nil, err
+		return err
 	}
 	reply, err := conn.Receive()
 	if err != nil {
-		conn.Close()
-		return nil, err
+		return err
 	}
 	if reply.Type == MsgError {
-		conn.Close()
-		return nil, fmt.Errorf("protocol: register AP: %s", reply.Error)
+		return fmt.Errorf("protocol: register AP: %s", reply.Error)
 	}
 	if reply.Type != MsgHelloOK {
-		conn.Close()
-		return nil, fmt.Errorf("protocol: unexpected reply %s", reply.Type)
+		return fmt.Errorf("protocol: unexpected reply %s", reply.Type)
 	}
-	return conn, nil
+	return nil
 }
 
-// DialAP connects an AP agent and registers the AP (no reconnection; see
-// DialAPReconnecting for the resilient variant).
+// DialAP connects an AP agent over the binary codec and registers the AP
+// (no reconnection; see DialAPReconnecting for the resilient variant).
 func DialAP(addr string, id trace.APID, capacityBps float64, timeout time.Duration) (*APAgent, error) {
-	conn, err := dialAP(defaultDial, addr, id, capacityBps, timeout)
+	return DialAPCodec(addr, id, capacityBps, timeout, CodecBinary)
+}
+
+// DialAPCodec is DialAP with an explicit wire codec — CodecJSON speaks
+// to the compatibility port or exercises the JSON path end to end.
+func DialAPCodec(addr string, id trace.APID, capacityBps float64, timeout time.Duration, codec Codec) (*APAgent, error) {
+	conn, err := dialAP(defaultDial, addr, id, capacityBps, timeout, codec)
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +132,7 @@ func DialAP(addr string, id trace.APID, capacityBps float64, timeout time.Durati
 		addr:        addr,
 		capacityBps: capacityBps,
 		timeout:     timeout,
+		rc:          ReconnectConfig{Codec: codec},
 	}, nil
 }
 
@@ -136,7 +150,7 @@ func DialAPReconnecting(addr string, id trace.APID, capacityBps float64, timeout
 		rc:          rc,
 		rng:         rand.New(rand.NewSource(rc.Seed)),
 	}
-	conn, err := dialAP(a.dialer(), addr, id, capacityBps, timeout)
+	conn, err := dialAP(a.dialer(), addr, id, capacityBps, timeout, rc.Codec)
 	if err != nil {
 		if rerr := a.redial(); rerr != nil {
 			return nil, err
@@ -170,7 +184,7 @@ func (a *APAgent) redial() error {
 	}
 	var lastErr error
 	for attempt := 0; attempt < a.rc.MaxAttempts; attempt++ {
-		conn, err := dialAP(a.dialer(), a.addr, a.id, a.capacityBps, a.timeout)
+		conn, err := dialAP(a.dialer(), a.addr, a.id, a.capacityBps, a.timeout, a.rc.Codec)
 		if err == nil {
 			a.conn = conn
 			a.reconnects++
@@ -228,6 +242,64 @@ func (a *APAgent) Close() error {
 	return a.conn.Close()
 }
 
+// APGroup is a single-connection agent fronting several APs: one hello
+// per AP registers them all on the same connection, and batched load
+// reports travel as one binary frame (one length, one CRC, one write).
+// This is the batched-report path for deployments where one agent
+// process manages a hardware group of APs.
+type APGroup struct {
+	conn  *Conn
+	ids   []trace.APID
+	batch []Message // reusable report batch
+}
+
+// APSpec declares one AP of a group agent.
+type APSpec struct {
+	ID          trace.APID
+	CapacityBps float64
+}
+
+// DialAPGroup connects one agent connection and registers every AP in
+// aps over it (binary codec). Reports are sent with ReportAll.
+func DialAPGroup(addr string, aps []APSpec, timeout time.Duration) (*APGroup, error) {
+	if len(aps) == 0 {
+		return nil, errors.New("protocol: empty AP group")
+	}
+	raw, err := defaultDial(addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: dial: %w", err)
+	}
+	conn := NewConnCodec(raw, timeout, CodecBinary)
+	g := &APGroup{conn: conn}
+	for _, ap := range aps {
+		if err := helloAP(conn, ap.ID, ap.CapacityBps); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		g.ids = append(g.ids, ap.ID)
+	}
+	return g, nil
+}
+
+// IDs returns the group's registered AP IDs in registration order.
+func (g *APGroup) IDs() []trace.APID { return g.ids }
+
+// ReportAll sends one load report per AP in a single coalesced frame;
+// loads is indexed like IDs.
+func (g *APGroup) ReportAll(loads []float64) error {
+	if len(loads) != len(g.ids) {
+		return fmt.Errorf("protocol: group report: %d loads for %d APs", len(loads), len(g.ids))
+	}
+	g.batch = g.batch[:0]
+	for i, id := range g.ids {
+		g.batch = append(g.batch, Message{Type: MsgReport, AP: string(id), LoadBps: loads[i]})
+	}
+	return g.conn.SendBatch(g.batch)
+}
+
+// Close disconnects the group agent.
+func (g *APGroup) Close() error { return g.conn.Close() }
+
 // Station is the client side of a WLAN user.
 type Station struct {
 	conn *Conn
@@ -235,7 +307,7 @@ type Station struct {
 	ap   trace.APID
 }
 
-// DialStation connects and registers a station.
+// DialStation connects and registers a station over the binary codec.
 func DialStation(addr string, user trace.UserID, timeout time.Duration) (*Station, error) {
 	return DialStationWith(defaultDial, addr, user, timeout)
 }
@@ -243,11 +315,16 @@ func DialStation(addr string, user trace.UserID, timeout time.Duration) (*Statio
 // DialStationWith is DialStation with an explicit transport dialer
 // (tests and chaos harnesses inject faulty transports here).
 func DialStationWith(dial Dialer, addr string, user trace.UserID, timeout time.Duration) (*Station, error) {
+	return DialStationCodec(dial, addr, user, timeout, CodecBinary)
+}
+
+// DialStationCodec is DialStationWith with an explicit wire codec.
+func DialStationCodec(dial Dialer, addr string, user trace.UserID, timeout time.Duration, codec Codec) (*Station, error) {
 	raw, err := dial(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: dial: %w", err)
 	}
-	conn := NewConn(raw, timeout)
+	conn := NewConnCodec(raw, timeout, codec)
 	if err := conn.Send(Message{Type: MsgHello, Role: RoleStation, ID: string(user)}); err != nil {
 		conn.Close()
 		return nil, err

@@ -122,10 +122,15 @@ type Controller struct {
 	servedByUsr map[trace.UserID]int64
 	served      map[trace.APID]int64 // bytes reported by stations
 
-	listener net.Listener
-	stop     chan struct{}
-	wg       sync.WaitGroup
-	closed   bool
+	listeners []net.Listener
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closed    bool
+
+	// logEnabled gates the hot-path Printf calls: when the logger is the
+	// default discard sink, skipping the call avoids materializing the
+	// variadic argument slice on every association.
+	logEnabled bool
 }
 
 // ControllerOption customizes a Controller.
@@ -133,7 +138,10 @@ type ControllerOption func(*Controller)
 
 // WithLogger routes controller diagnostics to logger (default: discard).
 func WithLogger(logger *log.Logger) ControllerOption {
-	return func(c *Controller) { c.logger = logger }
+	return func(c *Controller) {
+		c.logger = logger
+		c.logEnabled = true
+	}
 }
 
 // WithTimeout bounds each peer read/write (default 30s).
@@ -293,7 +301,9 @@ func (c *Controller) registerAgent(conn *Conn, id trace.APID, capacityBps float6
 }
 
 // Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the bound
-// address. Serve loops run in background goroutines until Close.
+// address. Serve loops run in background goroutines until Close. The
+// listener negotiates the codec per connection (binary by first byte,
+// JSON otherwise).
 func (c *Controller) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -302,22 +312,47 @@ func (c *Controller) Listen(addr string) (string, error) {
 	return c.Serve(ln), nil
 }
 
+// ListenJSON starts a JSON-only listener on addr — the debugging and
+// backward-compatibility port (-json-port). Binary frames are rejected
+// with a clear error instead of being sniffed.
+func (c *Controller) ListenJSON(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("protocol: listen: %w", err)
+	}
+	return c.ServeJSON(ln), nil
+}
+
 // Serve starts accepting peers on an externally created listener and
 // returns its address. It allows wrapping the listener (e.g. with
-// faultconn fault injection) before handing it to the controller.
-func (c *Controller) Serve(ln net.Listener) string {
-	stop := make(chan struct{})
+// faultconn fault injection) before handing it to the controller. Each
+// connection's codec is sniffed from its first byte: the journal frame
+// magic selects the binary codec, anything else is JSON lines.
+func (c *Controller) Serve(ln net.Listener) string { return c.serve(ln, true) }
+
+// ServeJSON is Serve for a JSON-only listener (see ListenJSON). A
+// controller may serve a negotiated port and a JSON-only port at once;
+// Close stops both.
+func (c *Controller) ServeJSON(ln net.Listener) string { return c.serve(ln, false) }
+
+func (c *Controller) serve(ln net.Listener, allowBinary bool) string {
 	c.mu.Lock()
-	c.listener = ln
-	c.closed = false
-	c.stop = stop
+	if c.stop == nil || c.closed {
+		// First listener of a serving epoch: fresh stop channel, fresh
+		// listener set, and the refresher if configured.
+		c.stop = make(chan struct{})
+		c.closed = false
+		c.listeners = c.listeners[:0]
+		if c.refreshFn != nil && c.refreshEvery > 0 {
+			c.wg.Add(1)
+			go c.refreshLoop(c.stop)
+		}
+	}
+	stop := c.stop
+	c.listeners = append(c.listeners, ln)
 	c.mu.Unlock()
 	c.wg.Add(1)
-	go c.acceptLoop(ln, stop)
-	if c.refreshFn != nil && c.refreshEvery > 0 {
-		c.wg.Add(1)
-		go c.refreshLoop(stop)
-	}
+	go c.acceptLoop(ln, stop, allowBinary)
 	return ln.Addr().String()
 }
 
@@ -341,7 +376,7 @@ func (c *Controller) refreshLoop(stop chan struct{}) {
 // with capped exponential backoff instead of killing the listener: the
 // loop exits only when the controller is closed or the listener reports
 // it is no longer usable.
-func (c *Controller) acceptLoop(ln net.Listener, stop chan struct{}) {
+func (c *Controller) acceptLoop(ln net.Listener, stop chan struct{}, allowBinary bool) {
 	defer c.wg.Done()
 	const (
 		baseBackoff = 5 * time.Millisecond
@@ -374,7 +409,7 @@ func (c *Controller) acceptLoop(ln net.Listener, stop chan struct{}) {
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
-			c.handle(NewConn(conn, c.timeout))
+			c.handle(newServerConn(conn, c.timeout, allowBinary))
 		}()
 	}
 }
@@ -387,14 +422,17 @@ func (c *Controller) Close() error {
 		c.closed = true
 		stop = c.stop
 	}
-	ln := c.listener
+	lns := c.listeners
+	c.listeners = nil
 	c.mu.Unlock()
 	if stop != nil {
 		close(stop)
 	}
 	var err error
-	if ln != nil {
-		err = ln.Close()
+	for _, ln := range lns {
+		if cerr := ln.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	c.wg.Wait()
 	if jerr := c.closeJournal(); jerr != nil && err == nil {
@@ -415,6 +453,11 @@ func (c *Controller) handle(conn *Conn) {
 		c.replyError(conn, fmt.Sprintf("expected hello, got %s", hello.Type))
 		return
 	}
+	if err := validateMessage(&hello); err != nil {
+		obsMsgRejected.Inc()
+		c.replyError(conn, err.Error())
+		return
+	}
 	switch hello.Role {
 	case RoleAP:
 		c.handleAP(conn, hello)
@@ -432,9 +475,13 @@ func (c *Controller) replyError(conn *Conn, msg string) {
 }
 
 // handleAP registers an AP agent and consumes its load reports, each of
-// which renews the AP's lease. The loop exits when the connection drops
-// (the registration then rides out its lease awaiting a reconnect) or
-// when a newer agent connection for the same AP takes over.
+// which renews the owning AP's lease. A group agent may register further
+// APs with in-loop hellos on the same connection and address its reports
+// with the AP field. The loop exits when the connection drops (the
+// registrations then ride out their leases awaiting a reconnect) or
+// when a newer agent connection takes over the primary AP; every exit
+// path detaches all owned registrations from this connection, so a
+// later supersede never "closes" a connection that is already gone.
 func (c *Controller) handleAP(conn *Conn, hello Message) {
 	id := trace.APID(hello.ID)
 	gen, old, err := c.registerAgent(conn, id, hello.CapacityBps)
@@ -446,6 +493,14 @@ func (c *Controller) handleAP(conn *Conn, hello Message) {
 		old.Close()
 		c.logger.Printf("ap %s re-hello: superseding previous agent connection", id)
 	}
+	// owned maps every AP registered over this connection to the
+	// generation it was granted; the deferred detach covers every exit.
+	owned := map[trace.APID]uint64{id: gen}
+	defer func() {
+		for oid, ogen := range owned {
+			c.agentGone(oid, ogen)
+		}
+	}()
 	if err := conn.Send(Message{Type: MsgHelloOK, ID: hello.ID}); err != nil {
 		c.logger.Printf("ap %s: %v", id, err)
 		return
@@ -457,23 +512,65 @@ func (c *Controller) handleAP(conn *Conn, hello Message) {
 			if !errors.Is(err, io.EOF) {
 				c.logger.Printf("ap %s: %v", id, err)
 			}
-			c.agentGone(id, gen)
 			return
 		}
-		if m.Type != MsgReport {
+		if verr := validateMessage(&m); verr != nil {
+			obsMsgRejected.Inc()
+			c.replyError(conn, verr.Error())
+			continue
+		}
+		switch m.Type {
+		case MsgHello:
+			// A group agent registers another AP on this connection.
+			if m.Role != RoleAP {
+				c.replyError(conn, fmt.Sprintf("unexpected role %q in group hello", m.Role))
+				return
+			}
+			nid := trace.APID(m.ID)
+			ngen, nold, err := c.registerAgent(conn, nid, m.CapacityBps)
+			if err != nil {
+				c.replyError(conn, err.Error())
+				continue
+			}
+			if nold != nil && nold != conn {
+				nold.Close()
+				c.logger.Printf("ap %s group hello: superseding previous agent connection", nid)
+			}
+			owned[nid] = ngen
+			if err := conn.Send(Message{Type: MsgHelloOK, ID: m.ID}); err != nil {
+				c.logger.Printf("ap %s: %v", nid, err)
+				return
+			}
+		case MsgReport:
+			// The AP field selects the report's target for group agents;
+			// empty means the primary (hello) AP.
+			rid := id
+			if m.AP != "" {
+				rid = trace.APID(m.AP)
+			}
+			rgen, ok := owned[rid]
+			if !ok {
+				c.replyError(conn, fmt.Sprintf("report for AP %q not owned by this agent", rid))
+				continue
+			}
+			c.mu.Lock()
+			meta, ok := c.meta[rid]
+			if !ok || meta.gen != rgen {
+				// Expired or superseded: this connection lost that AP.
+				c.mu.Unlock()
+				delete(owned, rid)
+				if rid == id {
+					return
+				}
+				continue
+			}
+			meta.lastSeen = c.now()
+			c.dom.SetReported(rid, m.LoadBps)
+			c.mu.Unlock()
+		default:
 			c.replyError(conn, fmt.Sprintf("unexpected %s from AP", m.Type))
 			return
 		}
-		c.mu.Lock()
-		meta, ok := c.meta[id]
-		if !ok || meta.gen != gen {
-			// Expired or superseded: this connection lost ownership.
-			c.mu.Unlock()
-			return
-		}
-		meta.lastSeen = c.now()
-		c.dom.SetReported(id, m.LoadBps)
-		c.mu.Unlock()
 	}
 }
 
@@ -507,6 +604,11 @@ func (c *Controller) handleStation(conn *Conn, hello Message) {
 			}
 			c.disassociate(user)
 			return
+		}
+		if verr := validateMessage(&m); verr != nil {
+			obsMsgRejected.Inc()
+			c.replyError(conn, verr.Error())
+			continue
 		}
 		switch m.Type {
 		case MsgAssoc:
@@ -543,6 +645,17 @@ func (c *Controller) handleStation(conn *Conn, hello Message) {
 	}
 }
 
+// assocScratch holds the per-call buffers of the Associate fast path:
+// the reusable view snapshot and the single-placement commit argument.
+// Pooled so a steady-state association performs no heap allocation once
+// the view arrays have grown to the domain's working-set size.
+type assocScratch struct {
+	views domain.ViewBuf
+	ps    [1]domain.Placement
+}
+
+var assocPool = sync.Pool{New: func() interface{} { return new(assocScratch) }}
+
 // Associate runs the policy for one user and records the assignment.
 //
 // The policy runs off every lock: the domain snapshots the AP views
@@ -556,7 +669,14 @@ func (c *Controller) handleStation(conn *Conn, hello Message) {
 // consistency). A decision inside one shard commits on the domain's
 // single-lock fast path, so disjoint associations scale with the shard
 // count.
+//
+// A re-association that lands on the user's current AP is a demand
+// refresh, not a move: the believed demand is replaced atomically, but
+// the session, its served-byte tally and the association timestamp stay
+// continuous, and no lifecycle events fire — the user never left.
 func (c *Controller) Associate(user trace.UserID, demandBps float64) (trace.APID, error) {
+	scr := assocPool.Get().(*assocScratch)
+	defer assocPool.Put(scr)
 	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
 		ts := c.now()
@@ -564,7 +684,8 @@ func (c *Controller) Associate(user trace.UserID, demandBps float64) (trace.APID
 		c.mu.Unlock()
 		c.emitLifecycle(evs, conns)
 
-		views, ver := c.dom.Views(user)
+		c.dom.ViewsInto(user, &scr.views)
+		views, ver := scr.views.Views(), scr.views.Version()
 		if len(views) == 0 {
 			return "", errors.New("protocol: no APs registered")
 		}
@@ -579,19 +700,22 @@ func (c *Controller) Associate(user trace.UserID, demandBps float64) (trace.APID
 		}
 
 		c.mu.Lock()
-		p := domain.Placement{User: user, AP: ap, DemandBps: demandBps}
+		scr.ps[0] = domain.Placement{User: user, AP: ap, DemandBps: demandBps}
 		prevAP, hadPrev := c.assignments[user]
+		refresh := hadPrev && prevAP == ap
 		if hadPrev {
-			// Re-associating moves the user (a fresh request supersedes):
-			// the removal from the previous AP and the new placement land
-			// in one atomic domain commit.
-			p.Prev = prevAP
+			// Re-associating routes the previous assignment through Prev:
+			// for a move, the removal and the new placement land in one
+			// atomic domain commit; for a same-AP refresh, the commit
+			// atomically replaces (rather than adds to) the believed
+			// demand.
+			scr.ps[0].Prev = prevAP
 		}
 		verArg := ver
 		if attempt >= maxSelectRetries {
 			verArg = nil // force: retries exhausted
 		}
-		if _, err := c.dom.Commit([]domain.Placement{p}, verArg); err != nil {
+		if _, err := c.dom.Commit(scr.ps[:1], verArg); err != nil {
 			c.mu.Unlock()
 			if attempt < maxSelectRetries &&
 				(errors.Is(err, domain.ErrStale) || errors.Is(err, domain.ErrUnknownAP)) {
@@ -603,14 +727,21 @@ func (c *Controller) Associate(user trace.UserID, demandBps float64) (trace.APID
 			}
 			return "", fmt.Errorf("protocol: commit: %w", err)
 		}
-		if hadPrev {
+		if hadPrev && !refresh {
 			c.sessionRecordLocked(user, prevAP, ts)
 			obsAssocMoves.Inc()
 		}
 		c.assignments[user] = ap
-		c.assignedAt[user] = ts
-		c.servedByUsr[user] = 0
+		if !refresh {
+			c.assignedAt[user] = ts
+			c.servedByUsr[user] = 0
+		}
 		obsv := c.observer
+		if refresh {
+			// Demand update only: the user never left, so no disconnect
+			// and no re-connect reaches the observer.
+			obsv = nil
+		}
 		if obsv != nil && c.jn != nil {
 			// Journaled: deliver in mutation order before the append, so a
 			// checkpoint triggered by this record captures the observer at
@@ -618,11 +749,15 @@ func (c *Controller) Associate(user trace.UserID, demandBps float64) (trace.APID
 			c.notifyAssoc(obsv, user, ap, prevAP, hadPrev, ts)
 			obsv = nil
 		}
-		c.journalAppendLocked(journal.Record{
-			Op: journal.OpAssoc, TS: ts,
-			Placements: []journal.Placement{{User: user, AP: ap, Prev: p.Prev, DemandBps: demandBps}},
-		})
-		c.logger.Printf("assoc %s -> %s (demand %.0f B/s)", user, ap, demandBps)
+		if c.jn != nil {
+			c.journalAppendLocked(journal.Record{
+				Op: journal.OpAssoc, TS: ts,
+				Placements: []journal.Placement{{User: user, AP: ap, Prev: scr.ps[0].Prev, DemandBps: demandBps}},
+			})
+		}
+		if c.logEnabled {
+			c.logger.Printf("assoc %s -> %s (demand %.0f B/s)", user, ap, demandBps)
+		}
 		c.mu.Unlock()
 
 		// Unjournaled: notify outside the lock — observers may be slow.
@@ -705,7 +840,11 @@ func (c *Controller) AssociateBatch(reqs []wlan.Request) (map[trace.UserID]trace
 			p := domain.Placement{User: r.User, AP: ap, DemandBps: r.DemandBps}
 			if prev, had := c.assignments[r.User]; had {
 				p.Prev = prev
-				moves = append(moves, assocMove{user: r.User, prev: prev})
+				if prev != ap {
+					// Same-AP placements are demand refreshes, not moves:
+					// no session split, no lifecycle events (see Associate).
+					moves = append(moves, assocMove{user: r.User, prev: prev})
+				}
 			}
 			ps = append(ps, p)
 		}
@@ -732,11 +871,17 @@ func (c *Controller) AssociateBatch(reqs []wlan.Request) (map[trace.UserID]trace
 		jps := make([]journal.Placement, len(ps))
 		for i, p := range ps {
 			c.assignments[p.User] = p.AP
-			c.assignedAt[p.User] = ts
-			c.servedByUsr[p.User] = 0
+			if p.Prev != p.AP {
+				// A same-AP refresh (Prev == AP) keeps the session's
+				// timestamp and served-byte tally continuous.
+				c.assignedAt[p.User] = ts
+				c.servedByUsr[p.User] = 0
+			}
 			out[p.User] = p.AP
 			jps[i] = journal.Placement{User: p.User, AP: p.AP, Prev: p.Prev, DemandBps: p.DemandBps}
-			c.logger.Printf("assoc %s -> %s (demand %.0f B/s, batch)", p.User, p.AP, p.DemandBps)
+			if c.logEnabled {
+				c.logger.Printf("assoc %s -> %s (demand %.0f B/s, batch)", p.User, p.AP, p.DemandBps)
+			}
 		}
 		obsv := c.observer
 		if obsv != nil && c.jn != nil {
@@ -783,10 +928,17 @@ func (c *Controller) disassociate(user trace.UserID) {
 		c.notifyDisconnect(obsv, user, ap, ts)
 		obsv = nil
 	}
-	c.journalAppendLocked(journal.Record{Op: journal.OpDisassoc, TS: ts, User: user, AP: ap})
-	c.logger.Printf("disassoc %s from %s", user, ap)
+	// All three bookkeeping maps must be consistent before the append: a
+	// rotation-triggered checkpoint snapshots state synchronously from
+	// inside journalAppendLocked, and a checkpoint keyed to this record
+	// must not carry a half-deleted user (gone from assignments, still
+	// in assignedAt/servedByUsr).
 	delete(c.assignedAt, user)
 	delete(c.servedByUsr, user)
+	c.journalAppendLocked(journal.Record{Op: journal.OpDisassoc, TS: ts, User: user, AP: ap})
+	if c.logEnabled {
+		c.logger.Printf("disassoc %s from %s", user, ap)
+	}
 	c.mu.Unlock()
 
 	if obsv != nil {
@@ -873,13 +1025,17 @@ func (c *Controller) notifyAssoc(obsv AssociationObserver,
 }
 
 // notifyBatch delivers a batch commit's observer events: every move's
-// disconnect, then every placement's connect.
+// disconnect, then every placement's connect. Same-AP refreshes
+// (Prev == AP) emit nothing — the user never left.
 func (c *Controller) notifyBatch(obsv AssociationObserver,
 	moves []assocMove, ps []domain.Placement, ts int64) {
 	for _, mv := range moves {
 		c.notifyDisconnect(obsv, mv.user, mv.prev, ts)
 	}
 	for _, p := range ps {
+		if p.Prev == p.AP && p.Prev != "" {
+			continue
+		}
 		obsv.Connect(p.User, p.AP, ts)
 	}
 }

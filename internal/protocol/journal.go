@@ -241,10 +241,16 @@ func (c *Controller) applyRecord(r journal.Record) error {
 		}
 		for _, p := range r.Placements {
 			prev, hadPrev := c.assignments[p.User]
+			refresh := hadPrev && prev == p.AP
 			c.assignments[p.User] = p.AP
-			c.assignedAt[p.User] = r.TS
-			c.servedByUsr[p.User] = 0
-			if c.observer != nil {
+			if !refresh {
+				// Mirror the live path: a same-AP refresh keeps the
+				// session timestamp and served-byte tally continuous and
+				// emits no lifecycle events.
+				c.assignedAt[p.User] = r.TS
+				c.servedByUsr[p.User] = 0
+			}
+			if c.observer != nil && !refresh {
 				if hadPrev {
 					if err := c.observer.Disconnect(p.User, prev, r.TS); err != nil {
 						c.logger.Printf("journal: replay observer disconnect %s: %v", p.User, err)

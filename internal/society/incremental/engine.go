@@ -161,6 +161,18 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 // on every refresh.
 func (e *Engine) Index(u, v trace.UserID) float64 { return e.snap.Load().Index(u, v) }
 
+// CloseFriends returns u's θ-graph neighbors in the last published
+// snapshot (sorted, read-only, lock-free). Together with
+// FriendThreshold, Engine satisfies core.FriendIndex, unlocking the
+// selector's precomputed-friend fast path.
+func (e *Engine) CloseFriends(u trace.UserID) []trace.UserID {
+	return e.snap.Load().CloseFriends(u)
+}
+
+// FriendThreshold returns the θ cut above which CloseFriends lists a
+// pair — the engine's edge threshold.
+func (e *Engine) FriendThreshold() float64 { return e.cfg.EdgeThreshold }
+
 // Connect records a user associating with an AP. First sight of a user
 // adds a vertex (a singleton component until its first edge).
 func (e *Engine) Connect(u trace.UserID, ap trace.APID, ts int64) {

@@ -1,0 +1,64 @@
+package incremental
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// TestSnapshotCloseFriends: CloseFriends must return exactly the
+// snapshot graph's neighbors above the edge threshold, sorted, and be
+// stable across repeated calls (it is built lazily, once).
+func TestSnapshotCloseFriends(t *testing.T) {
+	e := New(testConfig())
+	ts := int64(0)
+	// a—b and a—c co-leave repeatedly (strong edges); a meets d without
+	// co-leaving (encounter support but a weak pair probability).
+	for i := 0; i < 4; i++ {
+		ts = meet(t, e, "a", "b", "ap1", ts)
+		ts = meet(t, e, "a", "c", "ap2", ts)
+		ts = meetApart(t, e, "a", "d", "ap3", ts)
+	}
+	e.Refresh()
+	snap := e.Snapshot()
+
+	for _, u := range []trace.UserID{"a", "b", "c", "d"} {
+		var want []trace.UserID
+		snap.Graph().ForEachEdge(func(x, y trace.UserID, w float64) {
+			if w <= e.FriendThreshold() {
+				return
+			}
+			if x == u {
+				want = append(want, y)
+			}
+			if y == u {
+				want = append(want, x)
+			}
+		})
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := snap.CloseFriends(u)
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Errorf("CloseFriends(%s) = %v, want %v", u, got, want)
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Errorf("CloseFriends(%s) not sorted: %v", u, got)
+		}
+		again := snap.CloseFriends(u)
+		if !reflect.DeepEqual(got, again) {
+			t.Errorf("CloseFriends(%s) unstable: %v then %v", u, got, again)
+		}
+	}
+	if fs := snap.CloseFriends("stranger"); fs != nil {
+		t.Errorf("CloseFriends(unknown) = %v, want nil", fs)
+	}
+	// The engine delegates to its current snapshot and exposes the
+	// config threshold — the contract core.FriendIndex relies on.
+	if !reflect.DeepEqual(e.CloseFriends("a"), snap.CloseFriends("a")) {
+		t.Errorf("engine CloseFriends diverged from snapshot")
+	}
+	if e.FriendThreshold() != e.cfg.EdgeThreshold {
+		t.Errorf("FriendThreshold = %v, want %v", e.FriendThreshold(), e.cfg.EdgeThreshold)
+	}
+}

@@ -106,6 +106,29 @@ type component struct {
 	verts   []trace.UserID // sorted
 	sub     *socialgraph.Graph
 	cliques [][]trace.UserID // ExtractCliqueCover(sub), extraction order
+
+	// friends is the per-vertex sorted adjacency of sub, materialized
+	// lazily on first CloseFriends call. Components are immutable after
+	// publication and shared across snapshots, so the cache is built at
+	// most once per component lifetime and amortizes across refreshes
+	// that leave the component clean.
+	friendsOnce sync.Once
+	friends     map[trace.UserID][]trace.UserID
+}
+
+// friendsOf returns u's sorted θ-graph neighbors within the component.
+func (c *component) friendsOf(u trace.UserID) []trace.UserID {
+	c.friendsOnce.Do(func() {
+		c.friends = make(map[trace.UserID][]trace.UserID, len(c.verts))
+		c.sub.ForEachEdge(func(a, b trace.UserID, _ float64) {
+			c.friends[a] = append(c.friends[a], b)
+			c.friends[b] = append(c.friends[b], a)
+		})
+		for _, ns := range c.friends {
+			sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		}
+	})
+	return c.friends[u]
 }
 
 // Snapshot is an immutable view of the social state at one refresh:
@@ -128,6 +151,9 @@ type Snapshot struct {
 
 	coverOnce sync.Once
 	cover     [][]trace.UserID
+
+	compOnce sync.Once
+	compIdx  map[trace.UserID]*component
 }
 
 // Index returns θ(u,v); Snapshot satisfies core.SocialIndex.
@@ -204,6 +230,35 @@ func (s *Snapshot) Model() *society.Model {
 		TypeMatrix: matrix,
 		Alpha:      s.index.alpha,
 	}
+}
+
+// CloseFriends returns u's close friends — the users v with
+// θ(u,v) above the engine's edge threshold — as a sorted, read-only
+// slice (nil for an unknown or isolated user). This is the selector's
+// precomputed friend index: one O(1) map hit plus a cached adjacency
+// list, instead of an O(|component|) Index rescan per candidate AP. The
+// user→component index is built lazily on first use and cached for the
+// snapshot's lifetime; per-component adjacency is shared across
+// snapshots that leave the component clean.
+func (s *Snapshot) CloseFriends(u trace.UserID) []trace.UserID {
+	s.compOnce.Do(func() {
+		n := 0
+		for _, c := range s.comps {
+			n += len(c.verts)
+		}
+		idx := make(map[trace.UserID]*component, n)
+		for _, c := range s.comps {
+			for _, v := range c.verts {
+				idx[v] = c
+			}
+		}
+		s.compIdx = idx
+	})
+	c := s.compIdx[u]
+	if c == nil {
+		return nil
+	}
+	return c.friendsOf(u)
 }
 
 // ComponentOf returns the sorted member list of the component containing
