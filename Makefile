@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos flight-smoke bench experiments analyses ablations clean
+.PHONY: all build vet test race chaos federation-chaos flight-smoke bench experiments analyses ablations clean
 
 all: build vet test
 
@@ -22,6 +22,13 @@ race:
 CHAOS_DUR ?= 5s
 chaos:
 	$(GO) run ./cmd/s3proto -chaos -chaos-dur $(CHAOS_DUR) -policy llf
+
+# Cluster partition/kill/rejoin chaos: the 3-node kill -9 + oracle-replay
+# suite under the race detector, then the failover/replication-lag bench.
+FED_BENCH ?= BENCH_fed.json
+federation-chaos:
+	$(GO) test -race -count=1 -v -run 'TestFederationChaos|TestFederationTornTail|TestRelayPartitioned|TestClusterSettles' ./internal/federation
+	FED_BENCH_JSON=$(abspath $(FED_BENCH)) $(GO) test -count=1 -run TestFedBenchJSON -v ./internal/federation
 
 # Record a chaos soak into a flight ring, then decode and health-check it.
 FLIGHT_DIR ?= /tmp/s3flight

@@ -15,6 +15,19 @@
 //	s3proto -journal dir -recover-check 8          # assert recovery (CI)
 //	s3proto -pprof localhost:6060                  # pprof + Prometheus /metrics
 //	s3proto -flight-dir /var/lib/s3/flight         # always-on flight recorder
+//	s3proto -cluster /srv/s3 -node-id alpha -peers alpha,beta,gamma
+//	                                               # one replica of a federated cluster
+//	s3proto -fed-status /srv/s3                    # per-group lease status (JSON)
+//
+// With -cluster the controller becomes one replica of an N-node
+// federation jointly owning the AP space (internal/federation): AP and
+// user IDs hash onto federation groups, each group has one owner at a
+// time (arbitrated through lease files under the shared -cluster root),
+// every replica relays traffic it does not own to the owner, followers
+// mirror each group's journal in real time, and an expired lease fails
+// the group over to a caught-up follower within one -lease-ttl. The
+// -fsync and -checkpoint-every flags govern the per-group journals;
+// -ownership overrides the round-robin home map derived from -peers.
 //
 // With -journal the controller appends every domain mutation to a
 // write-ahead journal (internal/journal) and checkpoints its full state
@@ -38,6 +51,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +70,7 @@ import (
 	"github.com/s3wlan/s3wlan/internal/apps"
 	"github.com/s3wlan/s3wlan/internal/baseline"
 	"github.com/s3wlan/s3wlan/internal/core"
+	"github.com/s3wlan/s3wlan/internal/federation"
 	"github.com/s3wlan/s3wlan/internal/journal"
 	"github.com/s3wlan/s3wlan/internal/obs"
 	"github.com/s3wlan/s3wlan/internal/obs/flight"
@@ -106,6 +121,15 @@ func run(args []string, out io.Writer) (err error) {
 		driveAPs  = fs.Int("drive-aps", 3, "drive mode: AP agent count")
 		driveStns = fs.Int("drive-stations", 8, "drive mode: station count")
 		driveHold = fs.Duration("drive-hold", time.Minute, "drive mode: how long to hold connections open")
+
+		clusterRoot = fs.String("cluster", "", "federation cluster root directory (enables cluster mode; requires -node-id and -peers or -ownership)")
+		nodeID      = fs.String("node-id", "", "cluster: this replica's name in the ownership map")
+		peers       = fs.String("peers", "", "cluster: comma-separated replica names; home groups assigned round-robin unless -ownership")
+		ownSpec     = fs.String("ownership", "", "cluster: explicit group=node home map, e.g. 0=alpha,1=beta,2=alpha")
+		fedGroups   = fs.Int("fed-groups", 0, "cluster: federation group count (default: number of peers)")
+		leaseTTL    = fs.Duration("lease-ttl", 2*time.Second, "cluster: group lease TTL; a silent owner is failed over after this long")
+		clusterHold = fs.Duration("cluster-hold", 0, "cluster: exit after this long instead of waiting for a signal (tests/CI)")
+		fedStatus   = fs.String("fed-status", "", "print a cluster root's per-group lease status as JSON, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,6 +162,9 @@ func run(args []string, out io.Writer) (err error) {
 		}()
 	}
 
+	if *fedStatus != "" {
+		return runFedStatus(*fedStatus, out)
+	}
 	if *driveAddr != "" {
 		return runDrive(*driveAddr, *driveAPs, *driveStns, *driveHold, out)
 	}
@@ -155,6 +182,30 @@ func run(args []string, out io.Writer) (err error) {
 			protocol.WithObserver(engine),
 			protocol.WithRefresher(func() { engine.Refresh() }, *refEvery))
 	}
+
+	if *clusterRoot != "" {
+		if *journalDir != "" {
+			return fmt.Errorf("-cluster manages one journal per group under the cluster root; drop -journal (-fsync and -checkpoint-every still apply)")
+		}
+		pol, err := journal.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		return runCluster(clusterConfig{
+			root:      *clusterRoot,
+			nodeID:    *nodeID,
+			peers:     *peers,
+			ownSpec:   *ownSpec,
+			groups:    *fedGroups,
+			listen:    *listen,
+			ttl:       *leaseTTL,
+			hold:      *clusterHold,
+			fsync:     pol,
+			ckptEvery: *ckptEvery,
+			verbose:   *verbose,
+		}, selector, opts, out)
+	}
+
 	if *journalDir != "" {
 		pol, err := journal.ParseFsyncPolicy(*fsyncMode)
 		if err != nil {
@@ -240,6 +291,132 @@ func run(args []string, out io.Writer) (err error) {
 	s := <-sig
 	fmt.Fprintf(out, "shutting down (%v)\n", s)
 	return nil
+}
+
+// clusterConfig parameterizes a federation replica.
+type clusterConfig struct {
+	root, nodeID, peers, ownSpec, listen string
+	groups                               int
+	ttl, hold                            time.Duration
+	fsync                                journal.FsyncPolicy
+	ckptEvery                            int
+	verbose                              bool
+}
+
+// runCluster serves one replica of the federated controller cluster:
+// every group starts as a follower tailing the shared-root journals,
+// the lease loop claims this node's home groups (and any expired
+// lease), and the routing front-end serves or relays every peer. The
+// health banner — node identity, per-group role, ownership epoch and
+// replication position — is printed once the home groups settle and
+// again at shutdown, so scripts assert cluster state from stdout.
+func runCluster(cfg clusterConfig, selector wlan.Selector, ctrlOpts []protocol.ControllerOption, out io.Writer) error {
+	if cfg.nodeID == "" {
+		return fmt.Errorf("-cluster requires -node-id")
+	}
+	var own *federation.Ownership
+	var err error
+	if cfg.ownSpec != "" {
+		groups := cfg.groups
+		if groups == 0 {
+			groups = len(strings.Split(cfg.ownSpec, ","))
+		}
+		own, err = federation.ParseOwnership(cfg.ownSpec, groups)
+	} else {
+		var names []string
+		for _, p := range strings.Split(cfg.peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				names = append(names, p)
+			}
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("-cluster requires -peers or -ownership")
+		}
+		own, err = federation.DefaultOwnership(names, cfg.groups)
+	}
+	if err != nil {
+		return err
+	}
+	home := own.HomeGroups(cfg.nodeID)
+	if len(home) == 0 {
+		fmt.Fprintf(out, "note: %s homes no groups; serving as router and standby only\n", cfg.nodeID)
+	}
+
+	ncfg := federation.Config{
+		NodeID:      cfg.nodeID,
+		Root:        cfg.root,
+		Ownership:   own,
+		LeaseTTL:    cfg.ttl,
+		NewSelector: func() wlan.Selector { return selector },
+		ControllerOpts: func(int) []protocol.ControllerOption {
+			return ctrlOpts
+		},
+		Journal: journal.Options{Fsync: cfg.fsync, CheckpointEvery: cfg.ckptEvery},
+	}
+	if cfg.verbose {
+		ncfg.Logger = log.New(out, "federation: ", log.Ltime)
+	}
+	node, err := federation.NewNode(ncfg)
+	if err != nil {
+		return err
+	}
+	addr, err := node.Listen(cfg.listen)
+	if err != nil {
+		node.Close()
+		return err
+	}
+	fmt.Fprintf(out, "cluster node %s (%s policy) listening on %s: %d groups, home %v, lease TTL %v\n",
+		cfg.nodeID, selector.Name(), addr, own.Groups(), home, cfg.ttl)
+	for _, g := range home {
+		if _, werr := node.WaitOwner(g, 4*cfg.ttl+2*time.Second); werr != nil {
+			fmt.Fprintf(out, "cluster: %v\n", werr)
+		}
+	}
+	writeFedHealth(out, node.Health())
+
+	if cfg.hold > 0 {
+		time.Sleep(cfg.hold)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		fmt.Fprintf(out, "shutting down (%v)\n", s)
+	}
+	writeFedHealth(out, node.Health())
+	writeHealth(out)
+	return node.Close()
+}
+
+// writeFedHealth prints the node's federation health block as JSON.
+func writeFedHealth(out io.Writer, h federation.Health) {
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		fmt.Fprintf(out, "cluster health: %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, "cluster health:\n%s\n", data)
+}
+
+// runFedStatus prints a cluster root's per-group lease status as JSON:
+// owner, epoch, serve address, lease age and whether it has expired.
+func runFedStatus(root string, out io.Writer) error {
+	leases, err := federation.ReadLeases(root)
+	if err != nil {
+		return err
+	}
+	now := time.Now().UnixMilli()
+	type row struct {
+		*federation.Lease
+		AgeMs   int64 `json:"age_ms"`
+		Expired bool  `json:"expired"`
+	}
+	rows := make([]row, 0, len(leases))
+	for _, l := range leases {
+		rows = append(rows, row{Lease: l, AgeMs: now - l.Renewed, Expired: l.Expired(now)})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 // writeRecovery prints a journal-enabled controller's recovery summary.
@@ -553,16 +730,17 @@ func runChaos(selector wlan.Selector, opts []protocol.ControllerOption, cfg chao
 	return nil
 }
 
-// writeHealth prints the protocol.*, domain.*, society.* and journal.*
-// health metrics (counters and gauges) from the obs registry in sorted
-// order.
+// writeHealth prints the protocol.*, domain.*, society.*, journal.*
+// and federation.* health metrics (counters and gauges) from the obs
+// registry in sorted order.
 func writeHealth(out io.Writer) {
 	snap := obs.TakeSnapshot()
 	vals := make(map[string]int64, len(snap.Counters)+len(snap.Gauges))
 	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
 	add := func(name string, v int64) {
 		if strings.HasPrefix(name, "protocol.") || strings.HasPrefix(name, "domain.") ||
-			strings.HasPrefix(name, "society.") || strings.HasPrefix(name, "journal.") {
+			strings.HasPrefix(name, "society.") || strings.HasPrefix(name, "journal.") ||
+			strings.HasPrefix(name, "federation.") {
 			names = append(names, name)
 			vals[name] = v
 		}

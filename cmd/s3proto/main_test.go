@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -96,5 +99,95 @@ func TestRunDemoS3Live(t *testing.T) {
 	}
 	if !strings.Contains(out, "society.inc.refreshes") {
 		t.Errorf("missing society health metrics: %s", out)
+	}
+}
+
+func TestRunClusterThreeNodes(t *testing.T) {
+	root := t.TempDir()
+	var wg sync.WaitGroup
+	bufs := make([]bytes.Buffer, 3)
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = run([]string{
+				"-cluster", root,
+				"-node-id", fmt.Sprintf("n%d", i),
+				"-peers", "n0,n1,n2",
+				"-policy", "llf",
+				"-lease-ttl", "250ms",
+				"-cluster-hold", "2s",
+				"-fsync", "off",
+			}, &bufs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		out := bufs[i].String()
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v\n%s", i, errs[i], out)
+		}
+		if !strings.Contains(out, fmt.Sprintf("cluster node n%d", i)) {
+			t.Errorf("node %d missing banner:\n%s", i, out)
+		}
+		if !strings.Contains(out, "cluster health:") ||
+			!strings.Contains(out, fmt.Sprintf("%q: %q", "node_id", fmt.Sprintf("n%d", i))) {
+			t.Errorf("node %d missing health identity block:\n%s", i, out)
+		}
+		if !strings.Contains(out, `"role": "owner"`) {
+			t.Errorf("node %d never owned its home group:\n%s", i, out)
+		}
+		if !strings.Contains(out, "federation.lease_renewals") {
+			t.Errorf("node %d missing federation health counters:\n%s", i, out)
+		}
+	}
+
+	// The lease files outlive the nodes; -fed-status reads them back.
+	var sb bytes.Buffer
+	if err := run([]string{"-fed-status", root}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Group int    `json:"group"`
+		Owner string `json:"owner"`
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(sb.Bytes(), &rows); err != nil {
+		t.Fatalf("fed-status output not JSON: %v\n%s", err, sb.String())
+	}
+	if len(rows) != 3 {
+		t.Fatalf("fed-status rows = %d, want 3:\n%s", len(rows), sb.String())
+	}
+	for _, r := range rows {
+		if r.Owner != fmt.Sprintf("n%d", r.Group) || r.Epoch != 1 {
+			t.Errorf("group %d settled on %s@%d, want its home owner at epoch 1", r.Group, r.Owner, r.Epoch)
+		}
+	}
+}
+
+func TestRunClusterFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-cluster", t.TempDir(), "-peers", "a,b"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "node-id") {
+		t.Errorf("missing -node-id should error, got %v", err)
+	}
+	if err := run([]string{"-cluster", t.TempDir(), "-node-id", "a"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "peers") {
+		t.Errorf("missing -peers should error, got %v", err)
+	}
+	if err := run([]string{"-cluster", t.TempDir(), "-node-id", "a", "-peers", "a,b",
+		"-journal", t.TempDir()}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "journal") {
+		t.Errorf("-cluster with -journal should error, got %v", err)
+	}
+
+	// An empty root has no leases yet: -fed-status prints an empty list.
+	var sb bytes.Buffer
+	if err := run([]string{"-fed-status", t.TempDir()}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(sb.String()); s != "[]" {
+		t.Errorf("fed-status on an empty root = %q, want []", s)
 	}
 }

@@ -113,6 +113,15 @@ func fnv32aString(h uint32, s string) uint32 {
 	return h
 }
 
+// Hash is the domain's stable FNV-1a string hash — the function behind
+// ShardOf. Exported so higher layers that partition the same ID spaces
+// (the federation ownership map splitting APs and users across
+// controller replicas) stay aligned with the in-process shard routing:
+// group = Hash(id) % groups, shard = Hash(ap) % shards, one hash.
+func Hash(s string) uint32 {
+	return fnv32aString(uint32(fnvOffset32), s)
+}
+
 // SyntheticRSSI derives a stable pseudo-random signal strength in
 // [-90, -30] dBm from the (user, AP) pair. It stands in for physical
 // proximity: each user consistently "hears" some APs louder than others,

@@ -1,0 +1,188 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/s3wlan/s3wlan/internal/protocol"
+	"github.com/s3wlan/s3wlan/internal/trace"
+)
+
+// Routing front-end: every replica accepts any peer. The hello names
+// the peer (AP agent by AP ID, station by user ID), which hashes to a
+// federation group; a locally owned group is served by the local
+// controller via HandleSession, anything else is relayed message-wise
+// over the binary codec to whichever node the group's lease names.
+//
+// The lease file is the routing truth: a relay target is only ever the
+// current lease holder, and a node never serves a group it does not
+// own — it replies with an error instead of forwarding again, so a
+// misrouted connection terminates after one hop instead of looping.
+// Clients retry through their normal reconnect path and land on the
+// new owner once the lease settles.
+
+// listenRouter starts the accept loop.
+func (n *Node) listenRouter(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("federation: listen: %w", err)
+	}
+	bound := ln.Addr().String()
+	if n.cfg.WrapListener != nil {
+		ln = n.cfg.WrapListener(ln)
+	}
+	n.mu.Lock()
+	n.ln = ln
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.acceptLoop(ln)
+	return bound, nil
+}
+
+func (n *Node) acceptLoop(ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		if !n.trackConn(raw) {
+			raw.Close()
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer n.untrackConn(raw)
+			n.route(protocol.NewServerConn(raw, n.cfg.Timeout))
+		}()
+	}
+}
+
+// route reads the hello, resolves the owning group and either serves
+// locally or relays to the lease holder.
+func (n *Node) route(conn *protocol.Conn) {
+	defer conn.Close()
+	hello, err := conn.Receive()
+	if err != nil {
+		return
+	}
+	if hello.Type != protocol.MsgHello {
+		conn.Send(protocol.Message{Type: protocol.MsgError,
+			Error: fmt.Sprintf("expected hello, got %s", hello.Type)})
+		return
+	}
+	var g int
+	switch hello.Role {
+	case protocol.RoleAP:
+		g = n.cfg.Ownership.GroupOfAP(trace.APID(hello.ID))
+	case protocol.RoleStation:
+		g = n.cfg.Ownership.GroupOfUser(trace.UserID(hello.ID))
+	default:
+		conn.Send(protocol.Message{Type: protocol.MsgError,
+			Error: fmt.Sprintf("unknown role %q", hello.Role)})
+		return
+	}
+
+	gs := n.groups[g]
+	gs.mu.Lock()
+	ctrl, owned := gs.ctrl, gs.role == RoleOwner
+	gs.mu.Unlock()
+	if owned {
+		ctrl.HandleSession(conn, hello)
+		return
+	}
+
+	l, err := n.leases.Read(g)
+	if err != nil || l == nil || l.Addr == "" || l.Owner == n.cfg.NodeID {
+		// No owner (yet), or the lease names us before promotion
+		// finished: refuse rather than forward — one hop, never a loop.
+		conn.Send(protocol.Message{Type: protocol.MsgError,
+			Error: fmt.Sprintf("group %d has no live owner; retry", g)})
+		return
+	}
+	n.relay(conn, hello, l.Addr)
+}
+
+// relay pumps one peer connection to the group owner at addr over the
+// binary codec: the hello first, then each direction batch-for-batch
+// (ReceiveBatch/SendBatch preserve the peer's frame boundaries, so a
+// group agent's coalesced report batch stays one frame on the owner
+// side). The relay is transparent: decisions, errors and acks all come
+// from the owner.
+func (n *Node) relay(client *protocol.Conn, hello protocol.Message, addr string) {
+	obsRelays.Inc()
+	raw, err := net.DialTimeout("tcp", addr, n.cfg.Timeout)
+	if err != nil {
+		obsRelayErrors.Inc()
+		client.Send(protocol.Message{Type: protocol.MsgError,
+			Error: fmt.Sprintf("group owner unreachable: %v", err)})
+		return
+	}
+	owner := protocol.NewConnCodec(raw, n.cfg.Timeout, protocol.CodecBinary)
+	defer owner.Close()
+	if err := owner.Send(hello); err != nil {
+		obsRelayErrors.Inc()
+		client.Send(protocol.Message{Type: protocol.MsgError,
+			Error: fmt.Sprintf("relay hello: %v", err)})
+		return
+	}
+
+	// Downstream pump (owner → client) runs aside; the upstream pump
+	// (client → owner) runs here. Either side closing or failing tears
+	// both connections down, which unblocks the other pump.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pump(owner, client)
+		client.Close()
+	}()
+	if err := pump(client, owner); err != nil && !errors.Is(err, io.EOF) {
+		obsRelayErrors.Inc()
+	}
+	owner.Close()
+	<-done
+}
+
+// pump copies message batches from src to dst until either side fails.
+func pump(src, dst *protocol.Conn) error {
+	var buf []protocol.Message
+	for {
+		var err error
+		buf, err = src.ReceiveBatch(buf)
+		if err != nil {
+			return err
+		}
+		if err := dst.SendBatch(buf); err != nil {
+			return err
+		}
+	}
+}
+
+// WaitOwner blocks until some node owns group g's lease (fresh and
+// addressed) or the deadline passes — a convenience for tests and the
+// s3proto cluster bring-up to await settling.
+func (n *Node) WaitOwner(g int, timeout time.Duration) (*Lease, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		l, err := n.leases.Read(g)
+		if err == nil && l != nil && l.Addr != "" && !l.Expired(n.cfg.nowMs()) {
+			return l, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("federation: group %d: no owner within %v", g, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

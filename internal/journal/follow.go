@@ -1,0 +1,230 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/s3wlan/s3wlan/internal/obs"
+)
+
+// Follow-mode health, exported through the obs registry. Followers are
+// the replication consumers of a federated cluster: every record a
+// shard owner appends should eventually show up in follow.records on
+// each of its followers, and fenced/seq_gaps should stay zero outside
+// chaos runs.
+var (
+	obsFollowRecords = obs.GetCounter("journal.follow.records", "Records delivered by follow-mode readers tailing live journals")
+	obsFollowResyncs = obs.GetCounter("journal.follow.resyncs", "Follow-mode checkpoint resyncs after pruning outran the reader's position")
+	obsFollowFenced  = obs.GetCounter("journal.follow.fenced", "Follow-mode records dropped for carrying a stale ownership epoch")
+	obsFollowGaps    = obs.GetCounter("journal.follow.seq_gaps", "Sequence discontinuities observed while tailing (lost records skipped past)")
+)
+
+// FollowStats summarizes one Follower's lifetime accounting.
+type FollowStats struct {
+	// Records counts records delivered exactly once, in sequence order.
+	Records uint64
+	// Resyncs counts checkpoint resyncs: the reader fell so far behind
+	// that pruning removed segments it still needed, and it restarted
+	// from the newest checkpoint instead.
+	Resyncs uint64
+	// Fenced counts records dropped because their epoch was below the
+	// highest epoch already observed (or below SetMinEpoch) — writes by
+	// a superseded owner that lost its lease.
+	Fenced uint64
+	// SeqGaps counts sequence discontinuities skipped past (records
+	// lost to corruption or an unflushed crash; the owner's own
+	// recovery tolerates exactly the same losses).
+	SeqGaps uint64
+	// Epoch is the highest record epoch observed in the stream.
+	Epoch uint64
+	// LastSeq is the sequence number of the last delivered record (or
+	// the checkpoint sequence after a resync).
+	LastSeq uint64
+}
+
+// Follower tails a journal directory that another process is actively
+// appending to — the replication stream of a federated controller. It
+// reads the same segment/checkpoint layout Recover does, but
+// incrementally: each Poll delivers every record that became complete
+// on disk since the previous Poll, exactly once, in sequence order,
+// across segment rotations, checkpoint pruning and torn tails (an
+// incomplete trailing frame is simply not ready yet; the next Poll
+// picks it up once the writer finishes it).
+//
+// Exactly-once holds across every Poll that returns nil. When the
+// apply callback fails, the reader's position stays at the last
+// applied record, so the failing record is redelivered on the next
+// Poll (at-least-once across failures).
+//
+// A Follower is not safe for concurrent use.
+type Follower struct {
+	dir      string
+	lastSeq  uint64
+	minEpoch uint64
+	stats    FollowStats
+}
+
+// NewFollower tails dir, delivering records with Seq > afterSeq. A
+// fresh follower that will first load the owner's checkpoint through a
+// resync passes 0 and a resync callback to Poll.
+func NewFollower(dir string, afterSeq uint64) *Follower {
+	return &Follower{dir: dir, lastSeq: afterSeq, stats: FollowStats{LastSeq: afterSeq}}
+}
+
+// LastSeq returns the sequence number of the last delivered record.
+func (f *Follower) LastSeq() uint64 { return f.lastSeq }
+
+// Stats returns the follower's lifetime accounting.
+func (f *Follower) Stats() FollowStats {
+	st := f.stats
+	st.LastSeq = f.lastSeq
+	return st
+}
+
+// SetMinEpoch fences out records below epoch e regardless of what the
+// stream itself has shown — the caller learned the authoritative
+// ownership epoch out of band (from the lease) and any older writer is
+// known superseded.
+func (f *Follower) SetMinEpoch(e uint64) {
+	if e > f.minEpoch {
+		f.minEpoch = e
+	}
+}
+
+// ErrResyncNeeded reports that the reader's position was pruned away
+// and no valid checkpoint is available to resync from — the caller
+// should retry later (the writer may be mid-checkpoint) or rebuild.
+var ErrResyncNeeded = errors.New("journal: follow position pruned and no valid checkpoint to resync from")
+
+// Poll scans the directory once. Records that became complete since
+// the last Poll are handed to apply in sequence order. If pruning
+// removed segments the reader still needed, Poll first hands the
+// newest valid checkpoint to resync — which must replace the
+// consumer's state wholesale — and continues from its sequence number;
+// a nil resync callback makes that situation an error. Poll returns
+// the number of records applied.
+func (f *Follower) Poll(resync func(checkpoint []byte, seq uint64) error, apply func(Record) error) (int, error) {
+	ckpts, segs, err := listDir(f.dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil // owner has not created the journal yet
+		}
+		return 0, err
+	}
+
+	// Pruned past our position? The oldest surviving segment starting
+	// beyond lastSeq+1 means records we never saw are gone — but the
+	// pruning invariant guarantees a checkpoint covers them.
+	if len(segs) > 0 && segs[0].seq > f.lastSeq+1 {
+		if err := f.resyncFromCheckpoint(ckpts, resync); err != nil {
+			return 0, err
+		}
+	}
+
+	applied := 0
+	for i, seg := range segs {
+		// Skip segments every record of which is already delivered: the
+		// next segment's first sequence number bounds this one's last.
+		if i+1 < len(segs) && segs[i+1].seq <= f.lastSeq+1 {
+			continue
+		}
+		data, rerr := os.ReadFile(filepath.Join(f.dir, seg.name))
+		if rerr != nil {
+			// Pruned between listing and reading; records it held are
+			// checkpoint-covered, the next Poll resyncs if needed.
+			continue
+		}
+		recs, _, _ := segmentRecords(data, f.lastSeq, f.fenceEpoch())
+		for _, r := range recs {
+			if r.Epoch < f.fenceEpoch() {
+				f.stats.Fenced++
+				obsFollowFenced.Inc()
+				continue
+			}
+			if r.Seq > f.lastSeq+1 {
+				f.stats.SeqGaps++
+				obsFollowGaps.Inc()
+			}
+			if err := apply(r); err != nil {
+				return applied, fmt.Errorf("journal: follow apply record %d: %w", r.Seq, err)
+			}
+			f.lastSeq = r.Seq
+			if r.Epoch > f.stats.Epoch {
+				f.stats.Epoch = r.Epoch
+			}
+			f.stats.Records++
+			obsFollowRecords.Inc()
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// fenceEpoch is the lowest record epoch still accepted: the larger of
+// the externally announced minimum and the highest epoch the stream
+// itself has shown.
+func (f *Follower) fenceEpoch() uint64 {
+	if f.stats.Epoch > f.minEpoch {
+		return f.stats.Epoch
+	}
+	return f.minEpoch
+}
+
+// resyncFromCheckpoint restarts the reader from the newest valid
+// checkpoint, handing its payload to the caller.
+func (f *Follower) resyncFromCheckpoint(ckpts []dirEntry, resync func([]byte, uint64) error) error {
+	if resync == nil {
+		return ErrResyncNeeded
+	}
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		if ckpts[i].seq <= f.lastSeq {
+			break // older than our position: useless and a regression
+		}
+		data, err := os.ReadFile(filepath.Join(f.dir, ckpts[i].name))
+		if err != nil {
+			continue
+		}
+		payloads, st := DecodeFramesStats(data)
+		if len(payloads) != 1 || st.Corrupt > 0 || st.Torn {
+			continue
+		}
+		if err := resync(payloads[0], ckpts[i].seq); err != nil {
+			return fmt.Errorf("journal: follow resync at %d: %w", ckpts[i].seq, err)
+		}
+		f.lastSeq = ckpts[i].seq
+		f.stats.Resyncs++
+		obsFollowResyncs.Inc()
+		return nil
+	}
+	return ErrResyncNeeded
+}
+
+// segmentRecords decodes the records of one segment image that are not
+// yet delivered (Seq > after) and not fenced (Epoch >= minEpoch),
+// preserving order. It is the pure core of Poll, shared with the
+// replication-stream fuzz harness; it never panics on hostile input.
+func segmentRecords(data []byte, after, minEpoch uint64) (recs []Record, st FrameStats, undecodable int) {
+	payloads, st := DecodeFramesStats(data)
+	last := after
+	for _, payload := range payloads {
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			undecodable++
+			continue
+		}
+		if r.Seq <= last {
+			continue
+		}
+		if r.Epoch < minEpoch {
+			// Reported to the caller for fencing accounting.
+			recs = append(recs, r)
+			continue
+		}
+		recs = append(recs, r)
+		last = r.Seq
+	}
+	return recs, st, undecodable
+}

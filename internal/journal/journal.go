@@ -38,6 +38,8 @@ var (
 	obsReplayed    = obs.GetCounter("journal.recovery.records_replayed", "Records replayed from the WAL tail at recovery")
 	obsCorrupt     = obs.GetCounter("journal.recovery.corrupt_skipped", "CRC-corrupt or undecodable frames skipped at recovery")
 	obsTorn        = obs.GetCounter("journal.recovery.torn_tails", "Incomplete trailing frames found at recovery (≤1 per segment)")
+	obsRecWarns    = obs.GetCounter("journal.recover.warnings", "Tolerated-corruption warnings emitted during recovery (unreadable or damaged checkpoints, unreadable segments, undecodable records)")
+	obsRecResyncs  = obs.GetCounter("journal.recover.resyncs", "Magic-scan re-synchronizations after lost framing during recovery")
 	obsSeq         = obs.GetGauge("journal.seq", "Last assigned WAL sequence number")
 )
 
@@ -112,9 +114,16 @@ type Placement struct {
 }
 
 // Record is one journaled mutation. Seq is assigned by Append and is
-// strictly increasing across segments and checkpoints.
+// strictly increasing across segments and checkpoints. Epoch is the
+// writer's ownership generation (Options.Epoch / SetEpoch): in a
+// federated deployment every cross-process failover bumps it, so a
+// follower tailing the stream can fence out records a superseded owner
+// wrote after losing its lease. Single-owner journals leave it zero,
+// which keeps their encoded records byte-identical to pre-federation
+// journals.
 type Record struct {
 	Seq         uint64       `json:"seq"`
+	Epoch       uint64       `json:"epoch,omitempty"`
 	Op          Op           `json:"op"`
 	TS          int64        `json:"ts,omitempty"`
 	AP          trace.APID   `json:"ap,omitempty"`
@@ -196,6 +205,15 @@ type Options struct {
 	// Logger receives recovery warnings and background-flush errors
 	// (default: discard).
 	Logger *log.Logger
+	// Epoch stamps every appended record with the writer's ownership
+	// generation (see Record.Epoch). Zero for single-owner journals.
+	Epoch uint64
+	// FlushEachAppend flushes the buffered writer after every append
+	// even when the fsync policy would not. A replicated journal needs
+	// it under FsyncInterval/FsyncOff so tailing followers see records
+	// as soon as they are written, not when the 4 KiB buffer happens to
+	// spill. FsyncAlways flushes regardless.
+	FlushEachAppend bool
 }
 
 // Journal is an open write-ahead log rooted at one directory.
@@ -207,6 +225,7 @@ type Journal struct {
 	f         File
 	bw        *bufio.Writer
 	seq       uint64 // last assigned sequence number
+	epoch     uint64 // stamped into every appended record
 	sinceCkpt int
 	closed    bool
 
@@ -227,6 +246,13 @@ type RecoveryStats struct {
 	TornTails int
 	// Segments counts journal segments scanned.
 	Segments int
+	// Warnings counts the tolerated-corruption warnings recovery logged:
+	// unreadable or damaged checkpoints, unreadable segments, and
+	// undecodable records. Surfaced as journal.recover.warnings.
+	Warnings int
+	// Resyncs counts magic-scan re-synchronizations after lost framing
+	// (a damaged header or length). Surfaced as journal.recover.resyncs.
+	Resyncs int
 }
 
 // Recovery is the reconstructed state handed back by Open: the newest
@@ -258,7 +284,7 @@ func Open(dir string, opts Options) (*Journal, *Recovery, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	j := &Journal{dir: dir, opts: opts}
+	j := &Journal{dir: dir, opts: opts, epoch: opts.Epoch}
 	j.seq = rec.Stats.CheckpointSeq
 	if n := len(rec.Records); n > 0 {
 		j.seq = rec.Records[n-1].Seq
@@ -274,6 +300,8 @@ func Open(dir string, opts Options) (*Journal, *Recovery, error) {
 	obsReplayed.Add(int64(rec.Stats.RecordsReplayed))
 	obsCorrupt.Add(int64(rec.Stats.CorruptSkipped))
 	obsTorn.Add(int64(rec.Stats.TornTails))
+	obsRecWarns.Add(int64(rec.Stats.Warnings))
+	obsRecResyncs.Add(int64(rec.Stats.Resyncs))
 	obsSeq.Set(int64(j.seq))
 	return j, rec, nil
 }
@@ -283,6 +311,22 @@ func (j *Journal) Seq() uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.seq
+}
+
+// Epoch returns the writer's current ownership generation.
+func (j *Journal) Epoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// SetEpoch changes the ownership generation stamped into subsequent
+// records — a federated owner bumps it when it re-acquires a lease at a
+// higher epoch without reopening the journal.
+func (j *Journal) SetEpoch(e uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.epoch = e
 }
 
 // Dir returns the journal directory.
@@ -299,6 +343,7 @@ func (j *Journal) Append(rec Record) error {
 	}
 	j.seq++
 	rec.Seq = j.seq
+	rec.Epoch = j.epoch
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		obsAppendErrs.Inc()
@@ -313,6 +358,11 @@ func (j *Journal) Append(rec Record) error {
 		if err := j.syncLocked(); err != nil {
 			obsAppendErrs.Inc()
 			return fmt.Errorf("journal: fsync record %d: %w", rec.Seq, err)
+		}
+	} else if j.opts.FlushEachAppend {
+		if err := j.bw.Flush(); err != nil {
+			obsAppendErrs.Inc()
+			return fmt.Errorf("journal: flush record %d: %w", rec.Seq, err)
 		}
 	}
 	obsAppends.Inc()
@@ -481,7 +531,13 @@ func (j *Journal) pruneLocked() {
 		}
 		ckpts = ckpts[len(ckpts)-2:]
 	}
-	if len(ckpts) == 0 {
+	// Segment pruning waits for the second checkpoint: pruning against
+	// the newest one would delete the segment holding the very record
+	// that triggered it before a follow-mode reader (follow.go) could
+	// tail it, forcing a full checkpoint resync every rotation. Bounding
+	// by the second-newest checkpoint gives followers one whole
+	// checkpoint interval of slack at the cost of one interval of disk.
+	if len(ckpts) < 2 {
 		return
 	}
 	keepFrom := ckpts[0].seq // oldest retained checkpoint
@@ -505,6 +561,18 @@ func EncodeFrame(payload []byte) []byte {
 	return frame
 }
 
+// FrameStats summarizes what a frame walk tolerated.
+type FrameStats struct {
+	// Corrupt counts CRC failures and damaged headers skipped.
+	Corrupt int
+	// Resyncs counts the subset of corruptions that lost framing
+	// entirely (damaged magic or implausible length) and had to
+	// re-synchronize on the next magic marker.
+	Resyncs int
+	// Torn reports an incomplete trailing frame.
+	Torn bool
+}
+
 // DecodeFrames walks data frame by frame. Complete, CRC-valid payloads
 // are returned in order. A CRC failure skips the frame; a damaged
 // length or magic re-synchronizes on the next magic marker; an
@@ -512,18 +580,27 @@ func EncodeFrame(payload []byte) []byte {
 // never fails: any input yields the longest decodable prefix-structure,
 // which is exactly the crash-recovery contract.
 func DecodeFrames(data []byte) (payloads [][]byte, corrupt int, torn bool) {
+	payloads, st := DecodeFramesStats(data)
+	return payloads, st.Corrupt, st.Torn
+}
+
+// DecodeFramesStats is DecodeFrames with the full damage accounting,
+// distinguishing plain CRC skips from framing losses that needed a
+// magic-scan resync (surfaced as journal.recover.resyncs).
+func DecodeFramesStats(data []byte) (payloads [][]byte, st FrameStats) {
 	var magicBytes [4]byte
 	binary.LittleEndian.PutUint32(magicBytes[:], frameMagic)
 	off := 0
 	for off < len(data) {
 		if len(data)-off < frameHeader {
-			torn = true
+			st.Torn = true
 			return
 		}
 		if binary.LittleEndian.Uint32(data[off:off+4]) != frameMagic {
 			// Lost framing (a flipped length on the previous skip, or
 			// garbage): re-synchronize on the next magic marker.
-			corrupt++
+			st.Corrupt++
+			st.Resyncs++
 			next := bytes.Index(data[off+1:], magicBytes[:])
 			if next < 0 {
 				return
@@ -533,7 +610,8 @@ func DecodeFrames(data []byte) (payloads [][]byte, corrupt int, torn bool) {
 		}
 		length := binary.LittleEndian.Uint32(data[off+4 : off+8])
 		if length > MaxRecordBytes {
-			corrupt++
+			st.Corrupt++
+			st.Resyncs++
 			next := bytes.Index(data[off+4:], magicBytes[:])
 			if next < 0 {
 				return
@@ -543,12 +621,12 @@ func DecodeFrames(data []byte) (payloads [][]byte, corrupt int, torn bool) {
 		}
 		end := off + frameHeader + int(length)
 		if end > len(data) {
-			torn = true
+			st.Torn = true
 			return
 		}
 		payload := data[off+frameHeader : end]
 		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[off+8:off+12]) {
-			corrupt++
+			st.Corrupt++
 			off = end // length was plausible: skip the damaged frame whole
 			continue
 		}
@@ -621,13 +699,16 @@ func recoverDir(dir string, logger *log.Logger) (*Recovery, error) {
 		if rerr != nil {
 			logger.Printf("journal: checkpoint %s unreadable: %v", ckpts[i].name, rerr)
 			rec.Stats.CorruptSkipped++
+			rec.Stats.Warnings++
 			continue
 		}
-		payloads, corrupt, torn := DecodeFrames(data)
-		if len(payloads) != 1 || corrupt > 0 || torn {
+		payloads, st := DecodeFramesStats(data)
+		rec.Stats.Resyncs += st.Resyncs
+		if len(payloads) != 1 || st.Corrupt > 0 || st.Torn {
 			logger.Printf("journal: checkpoint %s damaged (frames=%d corrupt=%d torn=%v), trying older",
-				ckpts[i].name, len(payloads), corrupt, torn)
+				ckpts[i].name, len(payloads), st.Corrupt, st.Torn)
 			rec.Stats.CorruptSkipped++
+			rec.Stats.Warnings++
 			continue
 		}
 		rec.Checkpoint = payloads[0]
@@ -644,18 +725,24 @@ func recoverDir(dir string, logger *log.Logger) (*Recovery, error) {
 		if rerr != nil {
 			logger.Printf("journal: segment %s unreadable: %v", seg.name, rerr)
 			rec.Stats.CorruptSkipped++
+			rec.Stats.Warnings++
 			continue
 		}
 		rec.Stats.Segments++
-		payloads, corrupt, torn := DecodeFrames(data)
-		rec.Stats.CorruptSkipped += corrupt
-		if torn {
+		payloads, st := DecodeFramesStats(data)
+		rec.Stats.CorruptSkipped += st.Corrupt
+		rec.Stats.Resyncs += st.Resyncs
+		if st.Corrupt > 0 || st.Torn {
+			rec.Stats.Warnings++
+		}
+		if st.Torn {
 			rec.Stats.TornTails++
 		}
 		for _, payload := range payloads {
 			var r Record
 			if err := json.Unmarshal(payload, &r); err != nil {
 				rec.Stats.CorruptSkipped++
+				rec.Stats.Warnings++
 				logger.Printf("journal: segment %s: undecodable record: %v", seg.name, err)
 				continue
 			}

@@ -441,7 +441,8 @@ func (c *Controller) Close() error {
 	return err
 }
 
-// handle runs one peer session.
+// handle runs one peer session: read the hello, then dispatch through
+// the same entry point the federation router uses (federation.go).
 func (c *Controller) handle(conn *Conn) {
 	defer conn.Close()
 	hello, err := conn.Receive()
@@ -449,23 +450,7 @@ func (c *Controller) handle(conn *Conn) {
 		c.logger.Printf("peer hello: %v", err)
 		return
 	}
-	if hello.Type != MsgHello {
-		c.replyError(conn, fmt.Sprintf("expected hello, got %s", hello.Type))
-		return
-	}
-	if err := validateMessage(&hello); err != nil {
-		obsMsgRejected.Inc()
-		c.replyError(conn, err.Error())
-		return
-	}
-	switch hello.Role {
-	case RoleAP:
-		c.handleAP(conn, hello)
-	case RoleStation:
-		c.handleStation(conn, hello)
-	default:
-		c.replyError(conn, fmt.Sprintf("unknown role %q", hello.Role))
-	}
+	c.HandleSession(conn, hello)
 }
 
 func (c *Controller) replyError(conn *Conn, msg string) {
