@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos federation-chaos flight-smoke bench experiments analyses ablations clean
+.PHONY: all build vet test race chaos federation-chaos overload-soak flight-smoke bench experiments analyses ablations clean
 
 all: build vet test
 
@@ -29,6 +29,16 @@ FED_BENCH ?= BENCH_fed.json
 federation-chaos:
 	$(GO) test -race -count=1 -v -run 'TestFederationChaos|TestFederationTornTail|TestRelayPartitioned|TestClusterSettles' ./internal/federation
 	FED_BENCH_JSON=$(abspath $(FED_BENCH)) $(GO) test -count=1 -run TestFedBenchJSON -v ./internal/federation
+
+# Flash-crowd overload soak under -race: admission shedding, panic
+# containment, breaker trip/probe, shed-conservation oracle, and the
+# scripted-fault soak with its SLOs; then emit the soak's measured
+# numbers to $(OVERLOAD_BENCH).
+OVERLOAD_BENCH ?= BENCH_overload.json
+overload-soak:
+	$(GO) test -race -count=1 -v -run 'TestAdmission|TestShed|TestHelloTimeout|TestPanicContainment|TestOverloadSoak|TestBreaker' ./internal/protocol ./internal/federation
+	$(GO) test -race -count=1 -v ./internal/faults ./internal/protocol/faultconn ./internal/journal/faultfile
+	OVERLOAD_BENCH_JSON=$(abspath $(OVERLOAD_BENCH)) $(GO) test -count=1 -run TestOverloadBenchJSON -v ./internal/protocol
 
 # Record a chaos soak into a flight ring, then decode and health-check it.
 FLIGHT_DIR ?= /tmp/s3flight

@@ -18,6 +18,9 @@
 //	s3proto -cluster /srv/s3 -node-id alpha -peers alpha,beta,gamma
 //	                                               # one replica of a federated cluster
 //	s3proto -fed-status /srv/s3                    # per-group lease status (JSON)
+//	s3proto -max-conns 256 -assoc-rate 500         # admission control: shed excess with MsgBusy
+//	s3proto -cluster ... -breaker-failures 5 -breaker-cooldown 1s
+//	                                               # relay circuit breaker budget/cooldown
 //
 // With -cluster the controller becomes one replica of an N-node
 // federation jointly owning the AP space (internal/federation): AP and
@@ -107,6 +110,12 @@ func run(args []string, out io.Writer) (err error) {
 		shards   = fs.Int("shards", 0, "association-domain shards (<=1 = one lock domain; decisions are shard-count independent)")
 		verbose  = fs.Bool("v", false, "log controller decisions")
 
+		maxConns   = fs.Int("max-conns", 0, "admission: cap on concurrent peer connections; excess get MsgBusy (0 = unlimited)")
+		assocRate  = fs.Float64("assoc-rate", 0, "admission: association requests admitted per second; excess get MsgBusy (0 = unlimited)")
+		assocBurst = fs.Int("assoc-burst", 0, "admission: association token-bucket burst (0 = derive from -assoc-rate)")
+		brkFails   = fs.Int("breaker-failures", 5, "cluster: consecutive relay failures that trip a group's circuit breaker")
+		brkCool    = fs.Duration("breaker-cooldown", time.Second, "cluster: how long a tripped relay breaker fast-refuses before probing")
+
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060)")
 		flightDir   = fs.String("flight-dir", "", "flight-recorder ring directory (empty = off); decode with s3diag")
 		flightEvery = fs.Duration("flight-every", time.Second, "flight recorder sampling period")
@@ -174,6 +183,13 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 	opts := []protocol.ControllerOption{protocol.WithShards(*shards)}
+	if *maxConns > 0 || *assocRate > 0 {
+		opts = append(opts, protocol.WithAdmission(protocol.Admission{
+			MaxConns:   *maxConns,
+			AssocRate:  *assocRate,
+			AssocBurst: *assocBurst,
+		}))
+	}
 	if *verbose {
 		opts = append(opts, protocol.WithLogger(log.New(out, "controller: ", log.Ltime)))
 	}
@@ -202,6 +218,8 @@ func run(args []string, out io.Writer) (err error) {
 			hold:      *clusterHold,
 			fsync:     pol,
 			ckptEvery: *ckptEvery,
+			brkFails:  *brkFails,
+			brkCool:   *brkCool,
 			verbose:   *verbose,
 		}, selector, opts, out)
 	}
@@ -300,6 +318,8 @@ type clusterConfig struct {
 	ttl, hold                            time.Duration
 	fsync                                journal.FsyncPolicy
 	ckptEvery                            int
+	brkFails                             int
+	brkCool                              time.Duration
 	verbose                              bool
 }
 
@@ -351,7 +371,9 @@ func runCluster(cfg clusterConfig, selector wlan.Selector, ctrlOpts []protocol.C
 		ControllerOpts: func(int) []protocol.ControllerOption {
 			return ctrlOpts
 		},
-		Journal: journal.Options{Fsync: cfg.fsync, CheckpointEvery: cfg.ckptEvery},
+		Journal:         journal.Options{Fsync: cfg.fsync, CheckpointEvery: cfg.ckptEvery},
+		BreakerFailures: cfg.brkFails,
+		BreakerCooldown: cfg.brkCool,
 	}
 	if cfg.verbose {
 		ncfg.Logger = log.New(out, "federation: ", log.Ltime)

@@ -1,0 +1,147 @@
+package federation
+
+import (
+	"sync"
+	"time"
+
+	"github.com/s3wlan/s3wlan/internal/obs"
+)
+
+// Relay circuit breaker: consecutive relay failures to a group's owner
+// trip the group's breaker, after which stations are refused locally
+// with MsgBusy in microseconds instead of each paying a dial timeout
+// against a dead owner. After the cooldown one connection at a time is
+// let through as a half-open probe; a probe that reaches the owner
+// closes the breaker, a probe that fails re-opens it for another
+// cooldown. A lease moving the owner to a new address resets the
+// breaker immediately — the new owner starts with a clean slate.
+
+var (
+	obsBreakerTrips    = obs.GetCounter("federation.breaker.trips", "Relay circuit breakers tripped open (consecutive relay failures reached the budget)")
+	obsBreakerRefusals = obs.GetCounter("federation.breaker.fast_refusals", "Peer connections fast-refused with MsgBusy by an open relay breaker")
+	obsBreakerProbes   = obs.GetCounter("federation.breaker.probes", "Half-open probe connections admitted through a cooled-down breaker")
+	obsBreakerOpen     = obs.GetGauge("federation.breaker.open", "Relay circuit breakers currently open (fast-refusing)")
+)
+
+// openBreakers tracks the process-wide open-breaker population behind
+// the federation.breaker.open gauge.
+var openBreakers struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func breakerOpenDelta(d int64) {
+	openBreakers.mu.Lock()
+	openBreakers.n += d
+	obsBreakerOpen.Set(openBreakers.n)
+	openBreakers.mu.Unlock()
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one group's relay circuit breaker. Safe for concurrent
+// use; the closed-state Allow path is a mutex acquisition and two
+// comparisons, and an open breaker's refusal never touches the network.
+type breaker struct {
+	threshold int           // consecutive failures that trip it
+	cooldown  time.Duration // open duration before a half-open probe
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool   // a half-open probe is in flight
+	target   string // owner address the failure streak was observed on
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow decides whether a relay to the owner at target may proceed.
+// A target change (the lease moved) resets the breaker to closed first.
+// In the open state it returns false until the cooldown elapses, then
+// admits exactly one half-open probe at a time.
+func (b *breaker) Allow(target string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if target != b.target {
+		b.resetLocked()
+		b.target = target
+	}
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		breakerOpenDelta(-1)
+		fallthrough
+	default: // breakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		obsBreakerProbes.Inc()
+		return true
+	}
+}
+
+// Success records a relay that reached the owner: the breaker closes
+// and the failure streak resets.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.resetLocked()
+	b.mu.Unlock()
+}
+
+// Failure records a relay that never reached the owner (dial error,
+// hello write error, or no first reply within the deadline). The
+// breaker trips when the streak reaches the budget; a failed half-open
+// probe re-opens immediately for another cooldown.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.fails++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.fails >= b.threshold) {
+		if b.state != breakerOpen {
+			obsBreakerTrips.Inc()
+			breakerOpenDelta(1)
+		}
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// Open reports whether the breaker is currently fast-refusing.
+func (b *breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && b.now().Sub(b.openedAt) < b.cooldown
+}
+
+// resetLocked returns the breaker to closed. Callers hold b.mu.
+func (b *breaker) resetLocked() {
+	if b.state == breakerOpen {
+		breakerOpenDelta(-1)
+	}
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}

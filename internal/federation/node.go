@@ -57,6 +57,13 @@ type Config struct {
 	Journal journal.Options
 	// Timeout bounds relay and serve I/O (default 30s).
 	Timeout time.Duration
+	// BreakerFailures is the relay circuit breaker's budget: that many
+	// consecutive relay failures to a group's owner trip the group's
+	// breaker to fast local MsgBusy refusal (default 5; see breaker.go).
+	BreakerFailures int
+	// BreakerCooldown is how long a tripped breaker fast-refuses before
+	// admitting a half-open probe (default 1s).
+	BreakerCooldown time.Duration
 	// WrapListener, when set, decorates the router's listener before the
 	// accept loop starts — the chaos suite's injection point for
 	// faultconn-wrapped transports. Production leaves it nil.
@@ -114,9 +121,10 @@ type group struct {
 
 // Node is one replica of the federated controller cluster.
 type Node struct {
-	cfg    Config
-	leases *leaseStore
-	groups []*group
+	cfg      Config
+	leases   *leaseStore
+	groups   []*group
+	breakers []*breaker // per-group relay circuit breakers
 
 	mu        sync.Mutex
 	addr      string
@@ -178,6 +186,7 @@ func NewNode(cfg Config) (*Node, error) {
 			return nil, err
 		}
 		n.groups = append(n.groups, gs)
+		n.breakers = append(n.breakers, newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown))
 	}
 	return n, nil
 }

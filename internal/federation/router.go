@@ -65,19 +65,29 @@ func (n *Node) acceptLoop(ln net.Listener) {
 		go func() {
 			defer n.wg.Done()
 			defer n.untrackConn(raw)
-			n.route(protocol.NewServerConn(raw, n.cfg.Timeout))
+			conn := protocol.NewServerConn(raw, n.cfg.Timeout)
+			defer protocol.ContainPanic(n.cfg.Logger, conn)
+			n.route(conn)
 		}()
 	}
 }
 
 // route reads the hello, resolves the owning group and either serves
-// locally or relays to the lease holder.
+// locally or relays to the lease holder. The hello runs under the same
+// short deadline the controller's own accept path applies, so a peer
+// that connects and says nothing cannot pin a router goroutine for the
+// full relay timeout.
 func (n *Node) route(conn *protocol.Conn) {
 	defer conn.Close()
+	full := conn.Timeout()
+	if ht := protocol.DefaultHelloTimeout; full <= 0 || ht < full {
+		conn.SetTimeout(ht)
+	}
 	hello, err := conn.Receive()
 	if err != nil {
 		return
 	}
+	conn.SetTimeout(full)
 	if hello.Type != protocol.MsgHello {
 		conn.Send(protocol.Message{Type: protocol.MsgError,
 			Error: fmt.Sprintf("expected hello, got %s", hello.Type)})
@@ -112,7 +122,33 @@ func (n *Node) route(conn *protocol.Conn) {
 			Error: fmt.Sprintf("group %d has no live owner; retry", g)})
 		return
 	}
-	n.relay(conn, hello, l.Addr)
+	// Circuit breaker: while the group's breaker is open, refuse locally
+	// with MsgBusy in microseconds instead of paying a dial timeout per
+	// peer against a dead owner. A lease move resets the breaker inside
+	// Allow; a cooled-down breaker lets this connection through as its
+	// half-open probe.
+	br := n.breakers[g]
+	if !br.Allow(l.Addr) {
+		obsBreakerRefusals.Inc()
+		conn.Send(protocol.Message{Type: protocol.MsgBusy,
+			Error:        fmt.Sprintf("group %d owner circuit open; retry", g),
+			RetryAfterMs: int64(n.breakerCooldown() / time.Millisecond)})
+		return
+	}
+	if n.relay(conn, hello, l.Addr) {
+		br.Success()
+	} else {
+		br.Failure()
+	}
+}
+
+// breakerCooldown resolves the configured breaker cooldown (the
+// MsgBusy retry advice an open breaker sends).
+func (n *Node) breakerCooldown() time.Duration {
+	if n.cfg.BreakerCooldown > 0 {
+		return n.cfg.BreakerCooldown
+	}
+	return time.Second
 }
 
 // relay pumps one peer connection to the group owner at addr over the
@@ -121,14 +157,22 @@ func (n *Node) route(conn *protocol.Conn) {
 // group agent's coalesced report batch stays one frame on the owner
 // side). The relay is transparent: decisions, errors and acks all come
 // from the owner.
-func (n *Node) relay(client *protocol.Conn, hello protocol.Message, addr string) {
+//
+// The return value feeds the group's circuit breaker: true once the
+// owner has produced its first reply batch (the hello ack or a policy
+// error — either proves a live owner), false when the owner could not
+// be dialed, refused the hello, or sat silent past the relay deadline.
+// Waiting for the first reply is what makes a *stalled* owner — one
+// that accepts connections and then hangs — count against the breaker
+// budget instead of passing for healthy.
+func (n *Node) relay(client *protocol.Conn, hello protocol.Message, addr string) (established bool) {
 	obsRelays.Inc()
 	raw, err := net.DialTimeout("tcp", addr, n.cfg.Timeout)
 	if err != nil {
 		obsRelayErrors.Inc()
 		client.Send(protocol.Message{Type: protocol.MsgError,
 			Error: fmt.Sprintf("group owner unreachable: %v", err)})
-		return
+		return false
 	}
 	owner := protocol.NewConnCodec(raw, n.cfg.Timeout, protocol.CodecBinary)
 	defer owner.Close()
@@ -136,7 +180,18 @@ func (n *Node) relay(client *protocol.Conn, hello protocol.Message, addr string)
 		obsRelayErrors.Inc()
 		client.Send(protocol.Message{Type: protocol.MsgError,
 			Error: fmt.Sprintf("relay hello: %v", err)})
-		return
+		return false
+	}
+	first, err := owner.ReceiveBatch(nil)
+	if err != nil {
+		obsRelayErrors.Inc()
+		client.Send(protocol.Message{Type: protocol.MsgError,
+			Error: fmt.Sprintf("relay: owner unresponsive: %v", err)})
+		return false
+	}
+	if err := client.SendBatch(first); err != nil {
+		obsRelayErrors.Inc()
+		return true // the owner is fine; the client side failed
 	}
 
 	// Downstream pump (owner → client) runs aside; the upstream pump
@@ -153,6 +208,7 @@ func (n *Node) relay(client *protocol.Conn, hello protocol.Message, addr string)
 	}
 	owner.Close()
 	<-done
+	return true
 }
 
 // pump copies message batches from src to dst until either side fails.

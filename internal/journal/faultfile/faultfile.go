@@ -49,11 +49,17 @@ type Config struct {
 	FailSyncAfter int
 }
 
+// Source supplies a live fault schedule, consulted once per operation —
+// the hook a scenario engine (internal/faults) uses to move an open file
+// between fault phases without re-wrapping it.
+type Source func() Config
+
 // File decorates a Sink with the fault schedule in Config. Safe for
 // concurrent use.
 type File struct {
 	sink Sink
 	cfg  Config
+	src  Source // when set, overrides cfg per operation
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -64,6 +70,21 @@ type File struct {
 // Wrap decorates sink with the fault schedule cfg.
 func Wrap(sink Sink, cfg Config) *File {
 	return &File{sink: sink, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// WrapDynamic decorates sink with a schedule read from src before every
+// operation; src's Seed field is ignored (the decision stream is seeded
+// once, by seed, so runs stay reproducible across phase flips).
+func WrapDynamic(sink Sink, seed int64, src Source) *File {
+	return &File{sink: sink, src: src, rng: rand.New(rand.NewSource(seed))}
+}
+
+// cfgLocked resolves the schedule for one operation. Callers hold f.mu.
+func (f *File) cfgLocked() Config {
+	if f.src != nil {
+		return f.src()
+	}
+	return f.cfg
 }
 
 // Written returns the cumulative bytes accepted (including bytes
@@ -80,10 +101,11 @@ func (f *File) Write(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	if f.cfg.ShortWriteProb > 0 && f.rng.Float64() < f.cfg.ShortWriteProb {
+	cfg := f.cfgLocked()
+	if cfg.ShortWriteProb > 0 && f.rng.Float64() < cfg.ShortWriteProb {
 		n := f.rng.Intn(len(p)) // strict prefix, possibly empty
 		if n > 0 {
-			if _, err := f.writeThroughLocked(p[:n]); err != nil {
+			if _, err := f.writeThroughLocked(cfg, p[:n]); err != nil {
 				return 0, err
 			}
 		}
@@ -91,12 +113,12 @@ func (f *File) Write(p []byte) (int, error) {
 		return n, ErrInjected
 	}
 	buf := p
-	if f.cfg.BitFlipProb > 0 && f.rng.Float64() < f.cfg.BitFlipProb {
+	if cfg.BitFlipProb > 0 && f.rng.Float64() < cfg.BitFlipProb {
 		buf = append([]byte(nil), p...)
 		bit := f.rng.Intn(len(buf) * 8)
 		buf[bit/8] ^= 1 << (bit % 8)
 	}
-	if _, err := f.writeThroughLocked(buf); err != nil {
+	if _, err := f.writeThroughLocked(cfg, buf); err != nil {
 		return 0, err
 	}
 	f.written += int64(len(p))
@@ -105,9 +127,9 @@ func (f *File) Write(p []byte) (int, error) {
 
 // writeThroughLocked forwards bytes to the sink, clipping everything at
 // and past the torn-tail offset.
-func (f *File) writeThroughLocked(p []byte) (int, error) {
-	if f.cfg.TornAtByte > 0 {
-		remaining := f.cfg.TornAtByte - f.written
+func (f *File) writeThroughLocked(cfg Config, p []byte) (int, error) {
+	if cfg.TornAtByte > 0 {
+		remaining := cfg.TornAtByte - f.written
 		if remaining <= 0 {
 			return len(p), nil // silently gone
 		}
@@ -124,11 +146,12 @@ func (f *File) writeThroughLocked(p []byte) (int, error) {
 func (f *File) Sync() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	cfg := f.cfgLocked()
 	f.syncs++
-	if f.cfg.FailSyncAfter > 0 && f.syncs > f.cfg.FailSyncAfter {
+	if cfg.FailSyncAfter > 0 && f.syncs > cfg.FailSyncAfter {
 		return ErrInjected
 	}
-	if f.cfg.SyncErrProb > 0 && f.rng.Float64() < f.cfg.SyncErrProb {
+	if cfg.SyncErrProb > 0 && f.rng.Float64() < cfg.SyncErrProb {
 		return ErrInjected
 	}
 	return f.sink.Sync()

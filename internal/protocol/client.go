@@ -104,6 +104,9 @@ func helloAP(conn *Conn, id trace.APID, capacityBps float64) error {
 	if err != nil {
 		return err
 	}
+	if reply.Type == MsgBusy {
+		return busyError(&reply)
+	}
 	if reply.Type == MsgError {
 		return fmt.Errorf("protocol: register AP: %s", reply.Error)
 	}
@@ -334,6 +337,10 @@ func DialStationCodec(dial Dialer, addr string, user trace.UserID, timeout time.
 		conn.Close()
 		return nil, err
 	}
+	if reply.Type == MsgBusy {
+		conn.Close()
+		return nil, busyError(&reply)
+	}
 	if reply.Type == MsgError {
 		conn.Close()
 		return nil, fmt.Errorf("protocol: register station: %s", reply.Error)
@@ -362,6 +369,10 @@ func (s *Station) Associate(demandBps float64) (trace.APID, error) {
 	case MsgAssign:
 		s.ap = trace.APID(reply.AP)
 		return s.ap, nil
+	case MsgBusy:
+		// Shed, not failed: the connection stays usable and the returned
+		// *BusyError carries the controller's retry advice.
+		return "", busyError(&reply)
 	case MsgError:
 		return "", fmt.Errorf("protocol: associate: %s", reply.Error)
 	default:

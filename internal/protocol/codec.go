@@ -14,10 +14,11 @@ package protocol
 //	uvarint  message count
 //	per message:
 //	  byte    type  (wireType enum)
-//	  byte    flags (bit0 CapacityBps, bit1 LoadBps, bit2 DemandBps, bit3 Bytes)
+//	  byte    flags (bit0 CapacityBps, bit1 LoadBps, bit2 DemandBps,
+//	                 bit3 Bytes, bit4 RetryAfterMs)
 //	  string  Role, ID, User, AP, Error   (uvarint length + raw bytes)
 //	  float64 CapacityBps, LoadBps, DemandBps (8-byte LE bits, if flagged)
-//	  varint  Bytes (zigzag, if flagged)
+//	  varint  Bytes, RetryAfterMs (zigzag, if flagged)
 //
 // Absent numeric fields cost one flag bit; absent strings cost one byte.
 // The encoding is deliberately order-fixed and versionless: the framing
@@ -81,6 +82,7 @@ var wireTypes = [...]MsgType{
 	6: MsgTraffic,
 	7: MsgDisassoc,
 	8: MsgError,
+	9: MsgBusy,
 }
 
 func wireTypeOf(t MsgType) (byte, bool) {
@@ -98,6 +100,7 @@ const (
 	flagLoad
 	flagDemand
 	flagBytes
+	flagRetry
 )
 
 // appendString appends a uvarint-length-prefixed string.
@@ -125,6 +128,9 @@ func appendMessage(dst []byte, m *Message) ([]byte, error) {
 	if m.Bytes != 0 {
 		flags |= flagBytes
 	}
+	if m.RetryAfterMs != 0 {
+		flags |= flagRetry
+	}
 	dst = append(dst, wt, flags)
 	dst = appendString(dst, string(m.Role))
 	dst = appendString(dst, m.ID)
@@ -142,6 +148,9 @@ func appendMessage(dst []byte, m *Message) ([]byte, error) {
 	}
 	if flags&flagBytes != 0 {
 		dst = binary.AppendVarint(dst, m.Bytes)
+	}
+	if flags&flagRetry != 0 {
+		dst = binary.AppendVarint(dst, m.RetryAfterMs)
 	}
 	return dst, nil
 }
@@ -226,6 +235,14 @@ func decodeMessage(b []byte) (Message, []byte, error) {
 		m.Bytes = v
 		b = b[sz:]
 	}
+	if flags&flagRetry != 0 {
+		v, sz := binary.Varint(b)
+		if sz <= 0 {
+			return m, nil, fmt.Errorf("protocol: decode: truncated varint")
+		}
+		m.RetryAfterMs = v
+		b = b[sz:]
+	}
 	return m, b, nil
 }
 
@@ -282,6 +299,9 @@ func validateMessage(m *Message) error {
 	}
 	if m.Bytes < 0 {
 		return fmt.Errorf("invalid bytes %d", m.Bytes)
+	}
+	if m.RetryAfterMs < 0 {
+		return fmt.Errorf("invalid retry_after_ms %d", m.RetryAfterMs)
 	}
 	return nil
 }

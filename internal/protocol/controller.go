@@ -8,6 +8,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/s3wlan/s3wlan/internal/domain"
@@ -106,6 +107,15 @@ type Controller struct {
 	// leaseSeconds is how long an agent-registered AP survives without a
 	// hello or report before it is expired (0 = leases disabled).
 	leaseSeconds int64
+
+	// Overload shedding (admission.go). active counts admitted peer
+	// connections against admission.MaxConns; assocBucket rate-limits
+	// admitted associations when admission.AssocRate > 0.
+	admission       Admission
+	helloTimeout    time.Duration
+	helloTimeoutSet bool
+	assocBucket     *tokenBucket
+	active          atomic.Int64
 
 	// Journal wiring (see journal.go): jn is nil while replaying during
 	// construction and whenever journaling is disabled, so the append
@@ -220,6 +230,12 @@ func NewController(selector wlan.Selector, opts ...ControllerOption) (*Controlle
 	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if !c.helloTimeoutSet {
+		c.helloTimeout = DefaultHelloTimeout
+	}
+	if c.admission.AssocRate > 0 {
+		c.assocBucket = newTokenBucket(c.admission.AssocRate, c.admission.AssocBurst)
 	}
 	c.dom = domain.New(domain.Config{
 		Shards: c.shards,
@@ -406,11 +422,51 @@ func (c *Controller) acceptLoop(ln net.Listener, stop chan struct{}, allowBinary
 			continue
 		}
 		backoff = baseBackoff
+		// Admission: over the connection cap the peer is shed with an
+		// explicit MsgBusy in its own goroutine — the accept loop never
+		// blocks on a refused peer's socket, and the shed is never a
+		// silent close.
+		if max := c.admission.MaxConns; max > 0 && c.active.Load() >= int64(max) {
+			obsShedConns.Inc()
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				sc := newServerConn(conn, shedTimeout, allowBinary)
+				defer ContainPanic(c.logger, sc)
+				c.shed(sc, "connection limit reached")
+			}()
+			continue
+		}
+		obsConnsActive.Set(c.active.Add(1))
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
-			c.handle(newServerConn(conn, c.timeout, allowBinary))
+			defer func() {
+				obsConnsActive.Set(c.active.Add(-1))
+			}()
+			sc := newServerConn(conn, c.timeout, allowBinary)
+			defer ContainPanic(c.logger, sc)
+			c.handle(sc)
 		}()
+	}
+}
+
+// shed refuses one connection with MsgBusy and closes it. The peer's
+// codec is sniffed first (under the shed deadline) so the refusal is
+// legible on both ports; a peer that sends nothing just gets the close.
+// The MsgBusy write runs under the same deadline, so a stalled client
+// cannot block the shedding goroutine.
+func (c *Controller) shed(conn *Conn, reason string) {
+	defer conn.Close()
+	if err := conn.Sniff(); err != nil {
+		return
+	}
+	if err := conn.Send(Message{
+		Type:         MsgBusy,
+		Error:        reason,
+		RetryAfterMs: c.admission.retryAfter(),
+	}); err != nil {
+		c.logger.Printf("shed: %v", err)
 	}
 }
 
@@ -442,14 +498,28 @@ func (c *Controller) Close() error {
 }
 
 // handle runs one peer session: read the hello, then dispatch through
-// the same entry point the federation router uses (federation.go).
+// the same entry point the federation router uses (federation.go). The
+// hello itself runs under the short hello deadline — a peer that
+// connects and says nothing is cut loose in seconds, not the full
+// steady-state conn timeout (slowloris guard).
 func (c *Controller) handle(conn *Conn) {
 	defer conn.Close()
+	full := conn.Timeout()
+	if ht := c.helloTimeout; ht > 0 && (full <= 0 || ht < full) {
+		conn.SetTimeout(ht)
+	}
 	hello, err := conn.Receive()
 	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			obsHelloTimeout.Inc()
+			c.logger.Printf("peer hello timeout after %v", c.helloTimeout)
+			return
+		}
 		c.logger.Printf("peer hello: %v", err)
 		return
 	}
+	conn.SetTimeout(full)
 	c.HandleSession(conn, hello)
 }
 
@@ -491,6 +561,26 @@ func (c *Controller) handleAP(conn *Conn, hello Message) {
 		return
 	}
 	c.logger.Printf("ap %s registered (capacity %.0f B/s, gen %d)", id, hello.CapacityBps, gen)
+	// With admission's bounded report queue, reports apply on a consumer
+	// goroutine and a flood sheds oldest-first — the agent's read loop
+	// never wedges behind a contended domain lock. The consumer closes
+	// the connection when the primary registration is lost, ending the
+	// session the same way the synchronous path's return does.
+	var rq *reportQueue
+	if depth := c.admission.ReportQueue; depth > 0 {
+		rq = newReportQueue(depth)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer ContainPanic(c.logger, conn)
+			for it := range rq.ch {
+				if !c.applyReport(trace.APID(it.ap), it.gen, it.load) && trace.APID(it.ap) == id {
+					conn.Close()
+				}
+			}
+		}()
+		defer func() { rq.close(); <-done }()
+	}
 	for {
 		m, err := conn.Receive()
 		if err != nil {
@@ -538,25 +628,39 @@ func (c *Controller) handleAP(conn *Conn, hello Message) {
 				c.replyError(conn, fmt.Sprintf("report for AP %q not owned by this agent", rid))
 				continue
 			}
-			c.mu.Lock()
-			meta, ok := c.meta[rid]
-			if !ok || meta.gen != rgen {
+			if rq != nil {
+				rq.push(reportItem{ap: string(rid), gen: rgen, load: m.LoadBps})
+				continue
+			}
+			if !c.applyReport(rid, rgen, m.LoadBps) {
 				// Expired or superseded: this connection lost that AP.
-				c.mu.Unlock()
 				delete(owned, rid)
 				if rid == id {
 					return
 				}
 				continue
 			}
-			meta.lastSeen = c.now()
-			c.dom.SetReported(rid, m.LoadBps)
-			c.mu.Unlock()
 		default:
 			c.replyError(conn, fmt.Sprintf("unexpected %s from AP", m.Type))
 			return
 		}
 	}
+}
+
+// applyReport records one agent load report, renewing the AP's lease.
+// It returns false when the registration is gone or was superseded —
+// the reporting connection no longer owns that AP.
+func (c *Controller) applyReport(rid trace.APID, gen uint64, load float64) bool {
+	c.mu.Lock()
+	meta, ok := c.meta[rid]
+	if !ok || meta.gen != gen {
+		c.mu.Unlock()
+		return false
+	}
+	meta.lastSeen = c.now()
+	c.dom.SetReported(rid, load)
+	c.mu.Unlock()
+	return true
 }
 
 // agentGone detaches a dropped agent connection from its AP entry. The
@@ -570,6 +674,11 @@ func (c *Controller) agentGone(id trace.APID, gen uint64) {
 	c.mu.Unlock()
 	c.logger.Printf("ap %s agent connection lost (lease pending)", id)
 }
+
+// testStationHook, when set by an in-package test, observes every
+// validated station message before dispatch — the injection point the
+// panic-containment tests use to detonate inside a handler goroutine.
+var testStationHook func(user trace.UserID, m *Message)
 
 // handleStation serves one station's association lifecycle.
 func (c *Controller) handleStation(conn *Conn, hello Message) {
@@ -595,8 +704,28 @@ func (c *Controller) handleStation(conn *Conn, hello Message) {
 			c.replyError(conn, verr.Error())
 			continue
 		}
+		if h := testStationHook; h != nil {
+			h(user, &m)
+		}
 		switch m.Type {
 		case MsgAssoc:
+			// Admission: over the association rate the request is shed
+			// with MsgBusy on the open connection — the station backs off
+			// and retries, it is not disconnected. The bucket gates the
+			// request before the policy runs, so shedding costs
+			// microseconds regardless of domain contention.
+			if c.assocBucket != nil && !c.assocBucket.allow() {
+				obsShedAssoc.Inc()
+				if err := conn.Send(Message{
+					Type:         MsgBusy,
+					Error:        "association rate limit",
+					RetryAfterMs: c.admission.retryAfter(),
+				}); err != nil {
+					c.disassociate(user)
+					return
+				}
+				continue
+			}
 			ap, err := c.Associate(user, m.DemandBps)
 			if err != nil {
 				c.replyError(conn, err.Error())

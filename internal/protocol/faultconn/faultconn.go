@@ -50,13 +50,29 @@ type Config struct {
 	// CloseAfterReads closes the transport after that many successful
 	// reads (0 = never).
 	CloseAfterReads int
+	// ReadStallProb stalls a read for StallDur WITHOUT closing the
+	// transport — the half-open peer that holds its connection but never
+	// produces bytes. Unlike an injected error the caller sees nothing
+	// until its own deadline fires, which is exactly the behavior hello
+	// timeouts and relay circuit breakers must be tested against.
+	ReadStallProb float64
+	// StallDur is how long a stalled read hangs before proceeding with
+	// the real read (default 1s when ReadStallProb > 0).
+	StallDur time.Duration
 }
+
+// Source supplies a live fault schedule, consulted once per operation.
+// A dynamic wrapper built with WrapDynamic reads its Config through a
+// Source, so a scenario engine (internal/faults) can move every open
+// connection between fault phases without re-wrapping.
+type Source func() Config
 
 // Conn wraps a net.Conn with the fault schedule in Config. Safe for one
 // concurrent reader plus one concurrent writer (the net.Conn contract).
 type Conn struct {
 	net.Conn
 	cfg Config
+	src Source // when set, overrides cfg per operation
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -73,21 +89,37 @@ func Wrap(conn net.Conn, cfg Config) *Conn {
 	}
 }
 
+// WrapDynamic decorates conn with a schedule read from src before every
+// operation; src's Seed field is ignored (the decision stream is seeded
+// once, by seed, so runs stay reproducible across phase flips).
+func WrapDynamic(conn net.Conn, seed int64, src Source) *Conn {
+	return &Conn{
+		Conn: conn,
+		src:  src,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
 // decision is one sampled fault outcome.
 type decision struct {
 	delay   time.Duration
-	err     bool // inject an error and close
-	partial bool // write a prefix, then close (writes only)
-	drop    bool // discard the write, report success (writes only)
-	closed  bool // operation quota reached: close mid-stream
+	stall   time.Duration // reads only: hang, then proceed (no close)
+	err     bool          // inject an error and close
+	partial bool          // write a prefix, then close (writes only)
+	drop    bool          // discard the write, report success (writes only)
+	closed  bool          // operation quota reached: close mid-stream
 }
 
 func (c *Conn) decide(write bool) decision {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	cfg := c.cfg
+	if c.src != nil {
+		cfg = c.src()
+	}
 	var d decision
-	if c.cfg.DelayProb > 0 && c.rng.Float64() < c.cfg.DelayProb {
-		max := c.cfg.MaxDelay
+	if cfg.DelayProb > 0 && c.rng.Float64() < cfg.DelayProb {
+		max := cfg.MaxDelay
 		if max <= 0 {
 			max = 5 * time.Millisecond
 		}
@@ -95,37 +127,48 @@ func (c *Conn) decide(write bool) decision {
 	}
 	if write {
 		c.writes++
-		if c.cfg.CloseAfterWrites > 0 && c.writes > c.cfg.CloseAfterWrites {
+		if cfg.CloseAfterWrites > 0 && c.writes > cfg.CloseAfterWrites {
 			d.closed = true
 			return d
 		}
 		switch {
-		case c.cfg.DropWriteProb > 0 && c.rng.Float64() < c.cfg.DropWriteProb:
+		case cfg.DropWriteProb > 0 && c.rng.Float64() < cfg.DropWriteProb:
 			d.drop = true
-		case c.cfg.PartialWriteProb > 0 && c.rng.Float64() < c.cfg.PartialWriteProb:
+		case cfg.PartialWriteProb > 0 && c.rng.Float64() < cfg.PartialWriteProb:
 			d.partial = true
-		case c.cfg.WriteErrProb > 0 && c.rng.Float64() < c.cfg.WriteErrProb:
+		case cfg.WriteErrProb > 0 && c.rng.Float64() < cfg.WriteErrProb:
 			d.err = true
 		}
 		return d
 	}
 	c.reads++
-	if c.cfg.CloseAfterReads > 0 && c.reads > c.cfg.CloseAfterReads {
+	if cfg.CloseAfterReads > 0 && c.reads > cfg.CloseAfterReads {
 		d.closed = true
 		return d
 	}
-	if c.cfg.ReadErrProb > 0 && c.rng.Float64() < c.cfg.ReadErrProb {
+	if cfg.ReadStallProb > 0 && c.rng.Float64() < cfg.ReadStallProb {
+		d.stall = cfg.StallDur
+		if d.stall <= 0 {
+			d.stall = time.Second
+		}
+	}
+	if cfg.ReadErrProb > 0 && c.rng.Float64() < cfg.ReadErrProb {
 		d.err = true
 	}
 	return d
 }
 
 // Read applies the read-side fault schedule, then reads from the
-// transport.
+// transport. A stalled read hangs for the scheduled duration without
+// closing, then proceeds — the caller's own deadline (if any) is what
+// eventually fails a stalled connection.
 func (c *Conn) Read(p []byte) (int, error) {
 	d := c.decide(false)
 	if d.delay > 0 {
 		time.Sleep(d.delay)
+	}
+	if d.stall > 0 {
+		time.Sleep(d.stall)
 	}
 	if d.closed || d.err {
 		c.Conn.Close()

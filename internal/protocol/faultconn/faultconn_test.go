@@ -193,3 +193,51 @@ func TestDeriveSeedSpreads(t *testing.T) {
 		t.Errorf("derived seeds collide: %d unique of 100", len(seen))
 	}
 }
+
+// TestReadStallHangsWithoutClose: a stalled read hangs for StallDur and
+// then proceeds with the real read — the transport stays open, unlike
+// every error-injecting mode. This is the half-open-peer primitive the
+// hello-timeout and circuit-breaker suites build on.
+func TestReadStallHangsWithoutClose(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	c := Wrap(client, Config{Seed: 7, ReadStallProb: 1, StallDur: 50 * time.Millisecond})
+	defer c.Close()
+	go server.Write([]byte("hi"))
+	buf := make([]byte, 2)
+	start := time.Now()
+	n, err := c.Read(buf)
+	if err != nil || n != 2 {
+		t.Fatalf("stalled read = %d, %v (stall must not close)", n, err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("read returned after %v, want >= 50ms stall", d)
+	}
+}
+
+// TestWrapDynamicFollowsSource: a dynamic wrapper consults its Source
+// per operation, so flipping the schedule changes behavior mid-stream
+// without re-wrapping the connection.
+func TestWrapDynamicFollowsSource(t *testing.T) {
+	fc := &fakeConn{}
+	var mu sync.Mutex
+	cfg := Config{}
+	src := func() Config {
+		mu.Lock()
+		defer mu.Unlock()
+		return cfg
+	}
+	c := WrapDynamic(fc, 42, src)
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatalf("clean write: %v", err)
+	}
+	mu.Lock()
+	cfg.WriteErrProb = 1
+	mu.Unlock()
+	if _, err := c.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("faulted write = %v, want ErrInjected", err)
+	}
+	if !fc.isClosed() {
+		t.Error("injected write error should close the transport")
+	}
+}

@@ -36,6 +36,12 @@ const (
 	MsgDisassoc MsgType = "disassoc"
 	// MsgError reports a protocol or policy failure.
 	MsgError MsgType = "error"
+	// MsgBusy is the controller's explicit shed signal: the peer was
+	// refused for capacity (connection cap, association rate limit, or an
+	// open federation circuit breaker), not for a protocol error.
+	// RetryAfterMs advises when to try again. Shedding is never silent —
+	// a refused peer always gets one of these before close.
+	MsgBusy MsgType = "busy"
 )
 
 // Role identifies the peer kind in a hello.
@@ -67,6 +73,8 @@ type Message struct {
 	Bytes int64 `json:"bytes,omitempty"`
 	// Error carries the failure description in an error message.
 	Error string `json:"error,omitempty"`
+	// RetryAfterMs advises a shed peer (MsgBusy) when to retry.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 }
 
 // connMode selects how a Conn resolves its codec.
@@ -149,6 +157,15 @@ func newConn(raw net.Conn, timeout time.Duration, codec Codec, mode connMode) *C
 // Codec returns the connection's negotiated codec. Before a sniffing
 // server connection has received its first byte this reports JSON.
 func (c *Conn) Codec() Codec { return c.codec }
+
+// SetTimeout changes the per-operation I/O deadline. The hello phase of
+// a server connection runs under a shorter deadline than steady-state
+// traffic (slowloris guard); the handler widens it back once the peer
+// has identified itself.
+func (c *Conn) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Timeout returns the per-operation I/O deadline.
+func (c *Conn) Timeout() time.Duration { return c.timeout }
 
 // Send writes one message.
 func (c *Conn) Send(m Message) error {
@@ -249,6 +266,22 @@ func (c *Conn) Receive() (Message, error) {
 		return c.receiveBinary()
 	}
 	return c.receiveJSON()
+}
+
+// Sniff resolves a server connection's codec from the peer's first byte
+// without consuming a message, under the conn's read deadline. The shed
+// path uses it so a MsgBusy refusal is written in the codec the peer
+// actually speaks. No-op on client conns and after the codec resolved.
+func (c *Conn) Sniff() error {
+	if c.mode == modeClient {
+		return nil
+	}
+	if c.timeout > 0 {
+		if err := c.raw.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return fmt.Errorf("protocol: set read deadline: %w", err)
+		}
+	}
+	return c.resolveCodec()
 }
 
 // resolveCodec sniffs (or, on a JSON-only port, polices) the peer's
