@@ -36,7 +36,7 @@ federation-chaos:
 # numbers to $(OVERLOAD_BENCH).
 OVERLOAD_BENCH ?= BENCH_overload.json
 overload-soak:
-	$(GO) test -race -count=1 -v -run 'TestAdmission|TestShed|TestHelloTimeout|TestPanicContainment|TestOverloadSoak|TestBreaker' ./internal/protocol ./internal/federation
+	$(GO) test -race -count=1 -v -run 'TestAdmission|TestShed|TestHelloTimeout|TestPanicContainment|TestOverloadSoak|TestBreaker|TestReportQueue' ./internal/protocol ./internal/federation
 	$(GO) test -race -count=1 -v ./internal/faults ./internal/protocol/faultconn ./internal/journal/faultfile
 	OVERLOAD_BENCH_JSON=$(abspath $(OVERLOAD_BENCH)) $(GO) test -count=1 -run TestOverloadBenchJSON -v ./internal/protocol
 

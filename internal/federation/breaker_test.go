@@ -193,10 +193,8 @@ func TestBreakerTripsOnStalledOwnerAndRecovers(t *testing.T) {
 	}
 
 	// An AP and users homed in node-1's group. The AP agent dials its
-	// owner directly (a long-lived *relayed* connection would record a
-	// breaker Success when its pumps wind down mid-stall and reset the
-	// failure streak under test); stations go through node-0 so every
-	// exchange relays.
+	// owner directly so the load path stays up independent of relaying;
+	// stations go through node-0 so every exchange relays.
 	pick := func(mk func(int) string, g int, groupOf func(string) int) string {
 		for i := 0; ; i++ {
 			if id := mk(i); groupOf(id) == g {
@@ -223,9 +221,6 @@ func TestBreakerTripsOnStalledOwnerAndRecovers(t *testing.T) {
 		t.Fatalf("relayed associate pre-stall: %v", err)
 	}
 	st.Close()
-	// Let the pre-stall relay's pumps wind down (recording their
-	// Success) before the failure streak under test begins.
-	time.Sleep(200 * time.Millisecond)
 
 	// Owner goes dark. Each relay attempt burns the relay deadline and
 	// counts a failure; the breaker must trip within the budget — after
@@ -310,4 +305,151 @@ func TestBreakerTripsOnStalledOwnerAndRecovers(t *testing.T) {
 	if obsBreakerProbes.Value() == probesBefore {
 		t.Error("federation.breaker.probes never incremented during recovery")
 	}
+}
+
+// TestBreakerLearnsAtEstablishment pins *when* the relay reports to
+// the breaker: success the moment the owner's first reply lands —
+// never at session end. Two consequences under test. First, a session
+// established before the owner went dark reports nothing when it
+// tears down mid-stall, so it cannot reset a breaker that correctly
+// tripped while it ran. Second, a long-lived half-open probe session
+// closes the breaker at its first reply, so the rest of the group is
+// served while the probe session is still alive instead of being
+// fast-refused until that session ends (sessions are indefinite — the
+// old session-end reporting could delay recovery forever).
+func TestBreakerLearnsAtEstablishment(t *testing.T) {
+	root := t.TempDir()
+	names := []string{"node-0", "node-1"}
+	own, err := DefaultOwnership(names, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stalled atomic.Bool
+	const relayTimeout = 600 * time.Millisecond
+	const cooldown = 300 * time.Millisecond
+	const threshold = 2
+	mk := func(i int) (*Node, string) {
+		cfg := Config{
+			NodeID:          names[i],
+			Root:            root,
+			Ownership:       own,
+			LeaseTTL:        5 * time.Second,
+			NewSelector:     func() wlan.Selector { return baseline.LLF{} },
+			Journal:         journal.Options{Fsync: journal.FsyncOff},
+			Timeout:         relayTimeout,
+			BreakerFailures: threshold,
+			BreakerCooldown: cooldown,
+		}
+		if i == 1 {
+			cfg.Timeout = 5 * time.Second
+			cfg.WrapListener = func(ln net.Listener) net.Listener {
+				return &stallListener{Listener: ln, stalled: &stalled}
+			}
+		}
+		n, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := n.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, addr
+	}
+	n0, addr0 := mk(0)
+	defer n0.Close()
+	n1, addr1 := mk(1)
+	defer n1.Close()
+	for g := 0; g < 2; g++ {
+		if _, err := n0.WaitOwner(g, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pick := func(mk func(int) string, g int, groupOf func(string) int) string {
+		for i := 0; ; i++ {
+			if id := mk(i); groupOf(id) == g {
+				return id
+			}
+		}
+	}
+	apID := pick(func(i int) string { return fmt.Sprintf("est-ap-%d", i) }, 1,
+		func(s string) int { return own.GroupOfAP(trace.APID(s)) })
+	userOf := func(i int) trace.UserID {
+		return trace.UserID(pick(func(j int) string { return fmt.Sprintf("est-u-%d-%d", i, j) }, 1,
+			func(s string) int { return own.GroupOfUser(trace.UserID(s)) }))
+	}
+	ap, err := protocol.DialAP(addr1, trace.APID(apID), 10e6, 5*time.Second)
+	if err != nil {
+		t.Fatalf("AP dial: %v", err)
+	}
+	defer ap.Close()
+
+	// A relayed session established while the owner is healthy, kept
+	// open across the outage.
+	preStall, err := protocol.DialStation(addr0, userOf(0), 2*time.Second)
+	if err != nil {
+		t.Fatalf("pre-stall station dial: %v", err)
+	}
+	if _, err := preStall.Associate(100); err != nil {
+		t.Fatalf("pre-stall associate: %v", err)
+	}
+
+	// Owner goes dark; new relays fail until the breaker trips.
+	stalled.Store(true)
+	var busy *protocol.BusyError
+	for attempts := 0; attempts < threshold+2 && busy == nil; attempts++ {
+		_, err := protocol.DialStation(addr0, userOf(attempts+1), 3*time.Second)
+		if err == nil {
+			t.Fatal("dial succeeded against a stalled owner")
+		}
+		errors.As(err, &busy)
+	}
+	if busy == nil {
+		t.Fatal("breaker never tripped")
+	}
+
+	// Session-end silence: the pre-stall session winding down mid-stall
+	// must not reset the tripped breaker (its relay once returned true
+	// at session end, spuriously recording a Success right here).
+	preStall.Close()
+	time.Sleep(relayTimeout + 200*time.Millisecond) // let its relay pumps tear down
+	br := n0.breakers[1]
+	br.mu.Lock()
+	state := br.state
+	br.mu.Unlock()
+	if state != breakerOpen {
+		t.Fatal("pre-stall session teardown reset the tripped breaker")
+	}
+
+	// Probe promptness: owner recovers, and the first admitted station
+	// is the half-open probe. Its first reply must close the breaker
+	// while its session is still open — the next station is served
+	// immediately, not after the probe session ends.
+	stalled.Store(false)
+	var probe *protocol.Station
+	deadline := time.Now().Add(10 * time.Second)
+	for probe == nil {
+		st, err := protocol.DialStation(addr0, userOf(100), 2*time.Second)
+		if err == nil {
+			if _, err := st.Associate(100); err != nil {
+				st.Close()
+				t.Fatalf("probe associate: %v", err)
+			}
+			probe = st
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no recovery after owner came back: %v", err)
+		}
+		time.Sleep(cooldown / 4)
+	}
+	defer probe.Close()
+	st2, err := protocol.DialStation(addr0, userOf(200), 2*time.Second)
+	if err != nil {
+		t.Fatalf("station refused while the probe session is still open: %v", err)
+	}
+	if _, err := st2.Associate(100); err != nil {
+		t.Fatalf("associate while the probe session is still open: %v", err)
+	}
+	st2.Close()
 }

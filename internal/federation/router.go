@@ -135,9 +135,16 @@ func (n *Node) route(conn *protocol.Conn) {
 			RetryAfterMs: int64(n.breakerCooldown() / time.Millisecond)})
 		return
 	}
-	if n.relay(conn, hello, l.Addr) {
-		br.Success()
-	} else {
+	// The breaker learns the establishment outcome, not the session
+	// outcome: relay invokes br.Success the moment the owner's first
+	// reply lands (sessions are long-lived — waiting for session end
+	// would leave a half-open probe pinning the whole group on one
+	// probe's lifetime), and only a relay that never reached that point
+	// counts a Failure. A session's eventual teardown never touches the
+	// breaker — pumps failing because the owner died later is the next
+	// establishment attempt's news, and a long session ending cleanly
+	// must not reset a breaker that tripped in the meantime.
+	if !n.relay(conn, hello, l.Addr, br.Success) {
 		br.Failure()
 	}
 }
@@ -158,14 +165,19 @@ func (n *Node) breakerCooldown() time.Duration {
 // side). The relay is transparent: decisions, errors and acks all come
 // from the owner.
 //
-// The return value feeds the group's circuit breaker: true once the
-// owner has produced its first reply batch (the hello ack or a policy
-// error — either proves a live owner), false when the owner could not
-// be dialed, refused the hello, or sat silent past the relay deadline.
-// Waiting for the first reply is what makes a *stalled* owner — one
-// that accepts connections and then hangs — count against the breaker
-// budget instead of passing for healthy.
-func (n *Node) relay(client *protocol.Conn, hello protocol.Message, addr string) (established bool) {
+// The group's circuit breaker feeds off the *establishment* outcome:
+// established() fires as soon as the owner produces its first reply
+// batch (the hello ack or a policy error — either proves a live
+// owner), and the false return marks a relay that never got there —
+// the owner could not be dialed, refused the hello, or sat silent past
+// the relay deadline. Waiting for the first reply is what makes a
+// *stalled* owner — one that accepts connections and then hangs —
+// count against the breaker budget instead of passing for healthy.
+// Nothing after establishment reports to the breaker: relay() itself
+// returns only at session end, far too late for a half-open probe's
+// verdict, and a session outliving its owner must not reset a breaker
+// that correctly tripped while the session ran.
+func (n *Node) relay(client *protocol.Conn, hello protocol.Message, addr string, established func()) bool {
 	obsRelays.Inc()
 	raw, err := net.DialTimeout("tcp", addr, n.cfg.Timeout)
 	if err != nil {
@@ -189,6 +201,7 @@ func (n *Node) relay(client *protocol.Conn, hello protocol.Message, addr string)
 			Error: fmt.Sprintf("relay: owner unresponsive: %v", err)})
 		return false
 	}
+	established()
 	if err := client.SendBatch(first); err != nil {
 		obsRelayErrors.Inc()
 		return true // the owner is fine; the client side failed

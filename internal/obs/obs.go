@@ -35,6 +35,12 @@ type Gauge struct {
 // Set stores the current value.
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
+// Add moves the gauge by delta atomically and returns the new value —
+// the race-free way to track a population (active connections, queue
+// depth) from concurrent goroutines, where interleaved read-then-Set
+// pairs could publish a stale value.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -24,6 +24,12 @@ package protocol
 // The encoding is deliberately order-fixed and versionless: the framing
 // (magic + CRC) already rejects foreign bytes, and the hello exchange
 // pins both ends to the same repository version in this prototype.
+// Versionless cuts both ways: a wire type or flag bit an older peer
+// does not know (e.g. MsgBusy / RetryAfterMs, added with overload
+// protection) is a hard decode error there, so in a mixed-version
+// cluster upgrade relays and clients before enabling the features that
+// emit new vocabulary — see the mixed-version rollout note in
+// docs/ARCHITECTURE.md.
 
 import (
 	"encoding/binary"

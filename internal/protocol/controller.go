@@ -437,12 +437,18 @@ func (c *Controller) acceptLoop(ln net.Listener, stop chan struct{}, allowBinary
 			}()
 			continue
 		}
-		obsConnsActive.Set(c.active.Add(1))
+		// The gauge moves by atomic deltas, never Set-after-Add: two
+		// goroutines interleaving an Add with a Set could publish the
+		// older (higher) value and leave the gauge wrong until the next
+		// connection event.
+		c.active.Add(1)
+		obsConnsActive.Add(1)
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
 			defer func() {
-				obsConnsActive.Set(c.active.Add(-1))
+				c.active.Add(-1)
+				obsConnsActive.Add(-1)
 			}()
 			sc := newServerConn(conn, c.timeout, allowBinary)
 			defer ContainPanic(c.logger, sc)
@@ -566,17 +572,38 @@ func (c *Controller) handleAP(conn *Conn, hello Message) {
 	// never wedges behind a contended domain lock. The consumer closes
 	// the connection when the primary registration is lost, ending the
 	// session the same way the synchronous path's return does.
+	// lost carries apply failures from the queue consumer back to the
+	// read loop, keyed by the generation that failed: a superseded or
+	// expired non-primary AP must be pruned from owned (the synchronous
+	// path deletes it inline), or its reports would keep passing the
+	// ownership check and be queued and rejected forever. The generation
+	// makes the signal precise — a marker left by a stale queued report
+	// never prunes a registration the agent has since renewed with a
+	// group re-hello. A failed *primary* apply instead closes the
+	// connection, ending the session like the synchronous path's return.
+	var (
+		lostMu sync.Mutex
+		lost   map[trace.APID]uint64
+	)
 	var rq *reportQueue
 	if depth := c.admission.ReportQueue; depth > 0 {
 		rq = newReportQueue(depth)
+		lost = make(map[trace.APID]uint64)
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
 			defer ContainPanic(c.logger, conn)
 			for it := range rq.ch {
-				if !c.applyReport(trace.APID(it.ap), it.gen, it.load) && trace.APID(it.ap) == id {
-					conn.Close()
+				if c.applyReport(trace.APID(it.ap), it.gen, it.load) {
+					continue
 				}
+				if trace.APID(it.ap) == id {
+					conn.Close()
+					continue
+				}
+				lostMu.Lock()
+				lost[trace.APID(it.ap)] = it.gen
+				lostMu.Unlock()
 			}
 		}()
 		defer func() { rq.close(); <-done }()
@@ -629,6 +656,19 @@ func (c *Controller) handleAP(conn *Conn, hello Message) {
 				continue
 			}
 			if rq != nil {
+				lostMu.Lock()
+				lgen, gone := lost[rid]
+				if gone {
+					delete(lost, rid)
+				}
+				lostMu.Unlock()
+				if gone && lgen == rgen {
+					// The consumer saw this registration fail to apply:
+					// prune it exactly as the synchronous path would.
+					delete(owned, rid)
+					c.replyError(conn, fmt.Sprintf("report for AP %q not owned by this agent", rid))
+					continue
+				}
 				rq.push(reportItem{ap: string(rid), gen: rgen, load: m.LoadBps})
 				continue
 			}

@@ -234,6 +234,77 @@ func TestAdmissionAssocRate(t *testing.T) {
 	assertConservation(t, c)
 }
 
+// TestReportQueuePrunesLostOwnership: with the bounded report queue,
+// apply failures surface on the consumer goroutine, not in the read
+// loop — the read loop must still learn that a non-primary AP's
+// registration moved on and prune it from the connection's owned set,
+// exactly as the synchronous path does inline. Pre-fix, a superseded
+// AP's reports kept passing the ownership check and were queued and
+// rejected silently for the life of the connection.
+func TestReportQueuePrunesLostOwnership(t *testing.T) {
+	c, err := NewController(baseline.LLF{}, WithTimeout(testTimeout),
+		WithAdmission(Admission{ReportQueue: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := c.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	g, err := DialAPGroup(addr, []APSpec{
+		{ID: "rq-a", CapacityBps: 1e6},
+		{ID: "rq-b", CapacityBps: 1e6},
+	}, testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// rq-b's registration moves on (a superseding agent whose close has
+	// not reached this connection yet): the generation this connection
+	// holds is now stale, so its rq-b reports fail to apply — on the
+	// consumer goroutine, out of the read loop's sight.
+	c.mu.Lock()
+	c.meta["rq-b"].gen++
+	c.mu.Unlock()
+
+	// Keep reporting for rq-b: the consumer flags the lost registration
+	// and the read loop prunes it, answering with an explicit not-owned
+	// error. Reports are otherwise unacknowledged, so any reply is that
+	// refusal.
+	g.conn.SetTimeout(100 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := g.conn.Send(Message{Type: MsgReport, AP: "rq-b", LoadBps: 5}); err != nil {
+			t.Fatalf("report send: %v", err)
+		}
+		m, rerr := g.conn.Receive()
+		if rerr == nil {
+			if m.Type != MsgError {
+				t.Fatalf("reply = %s, want %s", m.Type, MsgError)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stale rq-b reports were never refused: the read loop did not learn the lost registration")
+		}
+	}
+
+	// The primary registration is untouched: rq-a reports still apply on
+	// this same connection.
+	if err := g.conn.Send(Message{Type: MsgReport, AP: "rq-a", LoadBps: 4242}); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for c.Snapshot()["rq-a"].ReportedBps != 4242 {
+		if time.Now().After(deadline) {
+			t.Fatal("rq-a report never applied after pruning rq-b")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func TestHelloTimeoutGuard(t *testing.T) {
 	c, err := NewController(baseline.LLF{}, WithTimeout(testTimeout),
 		WithHelloTimeout(100*time.Millisecond))
